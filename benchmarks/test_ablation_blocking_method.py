@@ -1,0 +1,73 @@
+"""Ablation — Token vs n-gram blocking (paper §10 future work).
+
+The paper proposes "the integration of different blocking methods … and
+their comparative evaluation w.r.t. efficiency and effectiveness".
+This ablation runs the same query under schema-agnostic Token Blocking
+and character-3-gram blocking and reports block-index size, executed
+comparisons, recall and time.
+"""
+
+import time
+
+from repro.bench.reporting import format_table
+from repro.bench.workload import sp_queries
+from repro.core.dedup_operator import DedupStats, DeduplicateOperator
+from repro.core.indices import TableIndex
+from repro.er.blocking import NGramBlocking, TokenBlocking
+from repro.er.evaluation import pair_completeness
+from repro.er.matching import ProfileMatcher
+from repro.sql.expressions import compile_predicate
+from repro.sql.logical import Field, PlanSchema
+from repro.sql.parser import parse
+
+DATASET = "PPL1M"
+
+
+def run_blocking(table, truth, blocking, selection):
+    index = TableIndex(table, blocking=blocking)
+    operator = DeduplicateOperator(
+        index,
+        matcher=ProfileMatcher(exclude=(table.schema.id_column,)),
+        collect_candidates=True,
+    )
+    stats = DedupStats()
+    started = time.perf_counter()
+    operator.deduplicate(selection, stats=stats)
+    elapsed = time.perf_counter() - started
+    relevant = {p for p in truth.pairs() if p[0] in selection or p[1] in selection}
+    pc = pair_completeness(stats.candidate_pairs, relevant) if relevant else 1.0
+    return index.block_count, elapsed, stats.executed_comparisons, pc
+
+
+def test_ablation_blocking_method(benchmark, registry, report):
+    table, truth = registry.get(DATASET)
+    query = sp_queries("PPL")[1]  # Q2, S≈20%
+    schema = PlanSchema([Field(table.name, c.name) for c in table.schema])
+    predicate = compile_predicate(parse(query.sql).where, schema)
+    selection = {row.id for row in table if predicate(row.values)}
+    exclude = (table.schema.id_column,)
+
+    def run_all():
+        return [
+            ("token", *run_blocking(table, truth, TokenBlocking(exclude_attributes=exclude), selection)),
+            ("3-gram", *run_blocking(table, truth, NGramBlocking(3, exclude_attributes=exclude), selection)),
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [name, tbi, round(elapsed, 4), comparisons, round(pc, 3)]
+        for name, tbi, elapsed, comparisons, pc in results
+    ]
+    report(
+        "ablation_blocking_method",
+        format_table(
+            ["Blocking", "|TBI|", "Time (s)", "Exec. comp.", "PC"],
+            rows,
+            title=f"Ablation — blocking methods on {DATASET} ({query.qid})",
+        ),
+    )
+    token_row, ngram_row = results
+    # n-gram recall is at least token recall (it strictly adds keys) …
+    assert ngram_row[4] >= token_row[4] - 1e-9
+    # … and both meet the paper-wide floor on this data.
+    assert token_row[4] >= 0.82

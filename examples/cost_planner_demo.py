@@ -1,0 +1,75 @@
+"""Cost-based planner demo: NES vs AES on an SPJ dedupe query (§7).
+
+Shows how the Advanced ER Solution estimates per-branch comparisons from
+the WHERE clause's blocking keys, picks which join branch to deduplicate
+first (Dirty-Left vs Dirty-Right), and how many comparisons that saves
+over the fixed Naive ER Solution plan and the Batch Approach.
+
+Run:  python examples/cost_planner_demo.py
+"""
+
+from repro import ExecutionMode, QueryEREngine
+from repro.datagen import generate_organizations, generate_people
+
+
+def main() -> None:
+    organisations, _ = generate_organizations(400, seed=21)
+    # Only ~40% of people work at a registered organisation — a low join
+    # percentage is exactly the regime where cost-based placement pays
+    # off (§9.4): the non-joining 60% of the selection is discarded
+    # *before* the expensive Comparison-Execution.
+    known = [row["name"] for row in organisations][:160]
+    unknown = [f"unlisted employer {i}" for i in range(240)]
+    people, _ = generate_people(1200, organisations=known + unknown, seed=22)
+
+    engine = QueryEREngine()
+    engine.register(people)
+    engine.register(organisations)
+
+    sql = (
+        "SELECT DEDUP PPL.given_name, PPL.surname, OAO.name, OAO.country "
+        "FROM PPL JOIN OAO ON PPL.organisation = OAO.name "
+        "WHERE PPL.state IN ('nt', 'act')"
+    )
+
+    print("Query:\n   ", sql, "\n")
+
+    plan = engine.plan_for(sql, ExecutionMode.AES)
+    print("Estimated post-BP/BF comparisons per branch (§7.2.1):")
+    for binding, estimate in plan.estimates.items():
+        marker = "  <- cleaned first" if binding == plan.clean_first else ""
+        print(f"    {binding}: {estimate}{marker}")
+
+    print("\nAES plan:")
+    print(engine.explain(sql, ExecutionMode.AES))
+    print("\nNES plan (fixed placement, no estimates):")
+    print(engine.explain(sql, ExecutionMode.NES))
+
+    print("\nExecution:")
+    results = {}
+    for mode in (ExecutionMode.AES, ExecutionMode.NES, ExecutionMode.BATCH):
+        engine.clear_caches()
+        results[mode] = engine.execute(sql, mode)
+        r = results[mode]
+        print(
+            f"    {mode.value:>10}: {r.comparisons:>8} comparisons, "
+            f"{r.elapsed:.3f}s, {len(r)} grouped rows"
+        )
+
+    aes, nes = results[ExecutionMode.AES], results[ExecutionMode.NES]
+    saved = nes.comparisons - aes.comparisons
+    print(
+        f"\nThe cost-based placement saved {saved} comparisons "
+        f"({saved / max(1, nes.comparisons):.0%} of the naive plan's work)."
+    )
+
+    # Pre-computed join statistics the planner can also consult:
+    left_pct, right_pct = engine.join_percentage("PPL", "OAO", "organisation", "name")
+    print(
+        f"Join percentages (pre-computed per table pair): "
+        f"{left_pct:.0%} of PPL joins, {right_pct:.0%} of OAO joins."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Progressive data exploration with the Link Index (§6.1, Fig 11).
+
+An analyst explores a dirty dataset with consecutive, overlapping
+queries.  With the Link Index, every query amends the store of resolved
+link-sets, so each follow-up query only pays for the entities no earlier
+query has resolved — the cost of exploration *decreases* over the
+session.  Without it, every query re-resolves its whole selection.
+
+Run:  python examples/progressive_exploration.py
+"""
+
+from repro import ExecutionMode, QueryEREngine
+from repro.datagen import generate_people
+
+
+def exploration_session(engine: QueryEREngine, label: str):
+    """Four overlapping range queries, each ≈30% wider than the last."""
+    total_rows = 1500
+    fractions = (0.38, 0.49, 0.64, 0.84)
+    print(f"\n{label}")
+    costs = []
+    for step, fraction in enumerate(fractions, start=1):
+        upper = int(total_rows * fraction)
+        sql = f"SELECT DEDUP id, given_name, surname FROM PPL WHERE id <= {upper}"
+        result = engine.execute(sql, ExecutionMode.AES)
+        costs.append(result.comparisons)
+        print(
+            f"    query {step} (range ≤ {upper:>5}): "
+            f"{result.comparisons:>7} comparisons, {result.elapsed:.3f}s"
+        )
+    return costs
+
+
+def main() -> None:
+    people, _ = generate_people(1500, seed=33)
+
+    with_li = QueryEREngine(use_link_index=True)
+    with_li.register(people)
+    with_costs = exploration_session(with_li, "With Link Index (progressive cleaning):")
+
+    without_li = QueryEREngine(use_link_index=False)
+    without_li.register(people)
+    without_costs = exploration_session(without_li, "Without Link Index:")
+
+    print("\nPer-query cost, side by side:")
+    print("    step   with-LI   without-LI")
+    for step, (with_cost, without_cost) in enumerate(zip(with_costs, without_costs), 1):
+        print(f"    {step:>4}   {with_cost:>7}   {without_cost:>10}")
+    print(
+        "\nWith the LI the marginal cost shrinks toward zero while the "
+        "no-LI session pays for its full (growing) range every time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Scholarly-aggregator scenario: analysis-aware dedup on harvested data.
+
+Mirrors the paper's motivation (OpenAIRE / Open Academic Graph): papers
+and venues are harvested from multiple sources, the same record appears
+with different spellings, and the analyst queries the dirty files
+directly — no ETL, no batch deduplication between harvests.
+
+Run:  python examples/scholarly_aggregator.py
+"""
+
+from repro import ExecutionMode, QueryEREngine
+from repro.datagen import generate_oagp, generate_oagv
+
+
+def main() -> None:
+    # A fresh "harvest": 130 venues, 1500 papers, ~13% duplicate papers.
+    venues, venue_truth = generate_oagv(130, seed=3)
+    papers, paper_truth = generate_oagp(
+        1500,
+        venue_titles=[row["title"] for row in venues],
+        join_fraction=0.4,
+        seed=4,
+    )
+    print(f"harvested {len(papers)} papers ({paper_truth.duplicate_count} true duplicate pairs)")
+    print(f"harvested {len(venues)} venues ({venue_truth.duplicate_count} true duplicate pairs)")
+
+    engine = QueryEREngine()
+    engine.register(papers)
+    engine.register(venues)
+
+    # -- 1. SP analysis: database papers, duplicates resolved -----------
+    sp = (
+        "SELECT DEDUP id, title, venue, year FROM OAGP "
+        "WHERE field = 'databases'"
+    )
+    result = engine.execute(sp, ExecutionMode.AES)
+    grouped = sum(1 for value in result.column("id") if " | " in str(value))
+    print(
+        f"\n[SP] {len(result)} grouped database papers "
+        f"({grouped} rows fused ≥2 records; {result.comparisons} comparisons, "
+        f"{result.elapsed:.2f}s)"
+    )
+
+    # -- 2. SPJ analysis: papers with their venue rank -------------------
+    spj = (
+        "SELECT DEDUP OAGP.title, OAGP.year, OAGV.rank "
+        "FROM OAGP JOIN OAGV ON OAGP.venue = OAGV.title "
+        "WHERE OAGP.field = 'databases'"
+    )
+    plan = engine.plan_for(spj, ExecutionMode.AES)
+    print(f"\n[SPJ] planner estimates {plan.estimates}; cleans {plan.clean_first!r} first")
+    joined = engine.execute(spj, ExecutionMode.AES)
+    print(f"[SPJ] {len(joined)} grouped results, {joined.comparisons} comparisons")
+
+    # -- 3. The progressive effect: re-analysis is nearly free -----------
+    again = engine.execute(sp, ExecutionMode.AES)
+    print(
+        f"\n[LI] re-running the SP analysis: {again.comparisons} comparisons "
+        f"(the Link Index already holds these resolutions)"
+    )
+
+    # -- 4. Compare with the batch alternative ---------------------------
+    engine.reset_link_indexes()
+    batch = engine.execute(sp, ExecutionMode.BATCH)
+    print(
+        f"\n[BA] batch-cleaning everything first: {batch.comparisons} comparisons "
+        f"vs QueryER's {result.comparisons} "
+        f"({batch.comparisons / max(1, result.comparisons):.1f}x more)"
+    )
+
+
+if __name__ == "__main__":
+    main()

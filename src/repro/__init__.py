@@ -1,0 +1,52 @@
+"""QueryER — analysis-aware deduplication over dirty data.
+
+A complete reproduction of *QueryER: A Framework for Fast Analysis-Aware
+Deduplication over Dirty Data* (Alexiou et al., EDBT): an SQL engine
+whose plans weave Entity-Resolution operators into SPJ query evaluation
+so that ``SELECT DEDUP`` queries over dirty data return the same grouped
+entities a full batch deduplication would, at a fraction of the cost.
+
+Quickstart::
+
+    from repro import QueryEREngine, read_csv
+
+    engine = QueryEREngine()
+    engine.register(read_csv("publications.csv", name="P"))
+    engine.register(read_csv("venues.csv", name="V"))
+    result = engine.execute(
+        "SELECT DEDUP P.title, V.rank "
+        "FROM P JOIN V ON P.venue = V.title WHERE P.venue = 'EDBT'")
+    for row in result:
+        print(row)
+"""
+
+from repro.core import (
+    DedupResult,
+    DeduplicateJoinOperator,
+    DeduplicateOperator,
+    ExecutionMode,
+    JoinType,
+    QueryEREngine,
+    batch_deduplicate,
+)
+from repro.er.meta_blocking import MetaBlockingConfig
+from repro.storage import Catalog, Schema, Table, read_csv, write_csv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QueryEREngine",
+    "ExecutionMode",
+    "MetaBlockingConfig",
+    "DeduplicateOperator",
+    "DeduplicateJoinOperator",
+    "JoinType",
+    "DedupResult",
+    "batch_deduplicate",
+    "Table",
+    "Schema",
+    "Catalog",
+    "read_csv",
+    "write_csv",
+    "__version__",
+]

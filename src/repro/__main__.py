@@ -1,0 +1,5 @@
+"""``python -m repro`` — run dedupe queries over CSV files."""
+
+from repro.cli import main
+
+main()

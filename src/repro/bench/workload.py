@@ -1,0 +1,147 @@
+"""The evaluation workload: 13 query types (paper §9.1).
+
+* **Q1–Q5** — SP queries of ranging selectivity ≈5% → ≈80% (step ≈15%)
+  per dataset family, driven by each family's weighted categorical
+  attribute (``state`` / ``field`` / ``funder`` / ``venue``).
+* **Q6–Q8** — SPJ joins with one side's selectivity fixed at 100%:
+  Q6 (S≈7%), Q7 (S≈75%), Q8 (S≈15%, used for scaling).
+* **Q9** — ``MOD(id, 10) < 1``: a fixed-|QE| random selection for the
+  scalability study (Fig 10).
+* **Q10–Q13** — overlapping range queries, each containing the previous
+  plus ≈30% more entities (Fig 11's Link-Index study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datagen import freq_tables as ft
+
+#: Target selectivities of Q1–Q5 (paper: ≈5% to ≈80%, step ≈15%).
+SELECTIVITIES: Sequence[float] = (0.05, 0.20, 0.35, 0.50, 0.80)
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One workload query: id, SQL text, and its nominal selectivity."""
+
+    qid: str
+    sql: str
+    selectivity: float
+    description: str = ""
+
+
+def _in_clause(column: str, weights: Sequence[Tuple[str, float]], selectivity: float) -> str:
+    """Greedy IN-list over a weighted categorical hitting ≈ *selectivity*."""
+    chosen: List[str] = []
+    accumulated = 0.0
+    for value, weight in weights:
+        if accumulated >= selectivity - 1e-9:
+            break
+        chosen.append(value)
+        accumulated += weight
+    values = ", ".join(f"'{v}'" for v in chosen)
+    return f"{column} IN ({values})"
+
+
+def _dsd_venue_clause(selectivity: float) -> str:
+    """DSD venues are ≈uniform over 20 venues (acronym + full spelling)."""
+    count = max(1, round(selectivity * len(ft.VENUE_NAMES)))
+    names: List[str] = []
+    for acronym, full in list(ft.VENUE_NAMES)[:count]:
+        names.append(acronym)
+        names.append(full)
+    values = ", ".join(f"'{v}'" for v in names)
+    return f"venue IN ({values})"
+
+
+#: family → (projected columns, WHERE-builder for a given selectivity)
+_FAMILIES: Dict[str, Tuple[str, object]] = {
+    "PPL": ("id, given_name, surname, state", lambda s: _in_clause("state", ft.STATE_WEIGHTS, s)),
+    "OAGP": ("id, title, venue, field", lambda s: _in_clause("field", ft.FIELD_WEIGHTS, s)),
+    "OAP": ("id, title, funder, organisation", lambda s: _in_clause("funder", ft.FUNDER_WEIGHTS, s)),
+    "DSD": ("id, title, authors, venue", _dsd_venue_clause),
+}
+
+
+def sp_queries(family: str) -> List[WorkloadQuery]:
+    """Q1–Q5 for one dataset family (table name = family name)."""
+    if family not in _FAMILIES:
+        raise KeyError(f"unknown family {family!r}; known: {sorted(_FAMILIES)}")
+    columns, clause = _FAMILIES[family]
+    queries = []
+    for i, selectivity in enumerate(SELECTIVITIES, start=1):
+        queries.append(
+            WorkloadQuery(
+                qid=f"Q{i}",
+                sql=f"SELECT DEDUP {columns} FROM {family} WHERE {clause(selectivity)}",
+                selectivity=selectivity,
+                description=f"SP on {family}, S≈{selectivity:.0%}",
+            )
+        )
+    return queries
+
+
+def q9_query(family: str) -> WorkloadQuery:
+    """Q9 = MOD(id, 10) < 1: fixed-|QE| random selection (Fig 10)."""
+    columns, _ = _FAMILIES[family]
+    return WorkloadQuery(
+        qid="Q9",
+        sql=f"SELECT DEDUP {columns} FROM {family} WHERE MOD(id, 10) < 1",
+        selectivity=0.10,
+        description=f"scalability probe on {family}",
+    )
+
+
+def range_queries(family: str, table_size: int) -> List[WorkloadQuery]:
+    """Q10–Q13: overlapping id ranges, each ≈30% wider (Fig 11).
+
+    The paper starts Q10 at |QE| = 760000 of OAGP2M (38%) and grows the
+    range by 30% per query.
+    """
+    fractions = [0.38]
+    while len(fractions) < 4:
+        fractions.append(min(1.0, fractions[-1] * 1.3))
+    columns, _ = _FAMILIES[family]
+    queries = []
+    for i, fraction in enumerate(fractions):
+        upper = int(table_size * fraction)
+        queries.append(
+            WorkloadQuery(
+                qid=f"Q{10 + i}",
+                sql=f"SELECT DEDUP {columns} FROM {family} WHERE id <= {upper}",
+                selectivity=fraction,
+                description=f"overlapping range {i + 1}/4 on {family}",
+            )
+        )
+    return queries
+
+
+_JOINS: Dict[str, Tuple[str, str, str, str, str]] = {
+    # key → (left family, right family, left col, right col, projection)
+    "PPL-OAO": ("PPL", "OAO", "organisation", "name", "PPL.id, PPL.surname, OAO.name, OAO.country"),
+    "OAP-OAO": ("OAP", "OAO", "organisation", "name", "OAP.id, OAP.title, OAO.name, OAO.country"),
+    "OAGP-OAGV": ("OAGP", "OAGV", "venue", "title", "OAGP.id, OAGP.title, OAGV.title, OAGV.rank"),
+}
+
+
+def join_query(pair: str, qid: str, selectivity: float) -> WorkloadQuery:
+    """An SPJ workload query (Q6a/b, Q7a/b, Q8a/b) for a join pair.
+
+    The selective side's WHERE uses the family's categorical dial; the
+    other side stays at 100% selectivity as in the paper.
+    """
+    left, right, left_col, right_col, projection = _JOINS[pair]
+    _, clause = _FAMILIES[left]
+    where = f" WHERE {left}.{clause(selectivity)}" if selectivity < 1.0 else ""
+    sql = (
+        f"SELECT DEDUP {projection} FROM {left} "
+        f"JOIN {right} ON {left}.{left_col} = {right}.{right_col}{where}"
+    )
+    return WorkloadQuery(
+        qid=qid,
+        sql=sql,
+        selectivity=selectivity,
+        description=f"SPJ {pair}, S≈{selectivity:.0%}",
+    )

@@ -1,0 +1,52 @@
+"""QueryER core: the analysis-aware deduplication framework.
+
+The public surface of the paper's contribution: the engine facade, the
+three ER operators, the per-table indices and the cost-based planner.
+"""
+
+from repro.core.engine import QueryEREngine
+from repro.core.planner import (
+    DedupQueryPlan,
+    DedupQueryPlanner,
+    DedupPlanningError,
+    ExecutionMode,
+)
+from repro.core.dedup_operator import DeduplicateOperator, DedupStats
+from repro.core.dedup_join import (
+    DeduplicateJoinOperator,
+    JoinedDedupResult,
+    JoinType,
+)
+from repro.core.group_entities import ClusterResolver, group_single
+from repro.core.indices import LinkIndex, TableIndex
+from repro.core.result import DedupResult, GroupedEntity, group_cluster, merge_values
+from repro.core.statistics import ComparisonEstimator, TableStatistics, join_percentage
+from repro.core.batch import batch_deduplicate
+from repro.core.entity import Entity, EntityCollection
+
+__all__ = [
+    "QueryEREngine",
+    "ExecutionMode",
+    "DedupQueryPlan",
+    "DedupQueryPlanner",
+    "DedupPlanningError",
+    "DeduplicateOperator",
+    "DedupStats",
+    "DeduplicateJoinOperator",
+    "JoinedDedupResult",
+    "JoinType",
+    "ClusterResolver",
+    "group_single",
+    "LinkIndex",
+    "TableIndex",
+    "DedupResult",
+    "GroupedEntity",
+    "group_cluster",
+    "merge_values",
+    "ComparisonEstimator",
+    "TableStatistics",
+    "join_percentage",
+    "batch_deduplicate",
+    "Entity",
+    "EntityCollection",
+]

@@ -1,0 +1,210 @@
+"""The Deduplicate operator (paper §6.1).
+
+Encapsulates the strict ER pipeline — Query Blocking → Block-Join →
+Meta-Blocking → Comparison-Execution — as a single relational operator:
+input a set of evaluated entities QE ⊆ E, output its super-set DR_E
+(QE ∪ duplicates, plus the linkset).
+
+Two refinements beyond the pseudocode, both paper-faithful:
+
+* Entities already *resolved* in the Link Index are skipped entirely;
+  their duplicates come straight from LI (§6.1: LI "is crucial to the
+  efficiency of our approach").
+* When ``transitive`` is on (default), newly discovered duplicates are
+  fed back as a new frontier until a fixpoint, so the clusters DR_E
+  carries equal the Batch Approach's clusters — the DQ-Correctness
+  guarantee of §5/§6.1 made operational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Set, Tuple
+
+from repro.core.indices import TableIndex
+from repro.core.result import DedupResult
+from repro.er.blocking import _safe_sorted
+from repro.er.linkset import LinkSet, canonical_pair
+from repro.er.matching import ProfileMatcher
+from repro.er.meta_blocking import MetaBlockingConfig, apply_meta_blocking
+from repro.sql.physical import ExecutionContext
+
+
+@dataclass
+class DedupStats:
+    """Instrumentation of one Deduplicate invocation."""
+
+    frontier_size: int = 0
+    skipped_resolved: int = 0
+    qbi_blocks: int = 0
+    eqbi_blocks: int = 0
+    eqbi_comparisons_before: int = 0
+    eqbi_comparisons_after: int = 0
+    executed_comparisons: int = 0
+    matches_found: int = 0
+    rounds: int = 0
+    candidate_pairs: List[Tuple[Any, Any]] = field(default_factory=list)
+
+
+class DeduplicateOperator:
+    """Finds, within E, the duplicates of a query-evaluated subset QE.
+
+    Parameters
+    ----------
+    index:
+        The per-table :class:`~repro.core.indices.TableIndex` (TBI/ITBI/LI).
+    matcher:
+        Schema-agnostic profile matcher used by Comparison-Execution.
+    meta_blocking:
+        Which meta-blocking stages run (Table 8's ALL / BP+BF / BP+EP).
+    use_link_index:
+        When False the LI is neither consulted nor amended (the paper's
+        "Without LI" configuration, Fig 11).
+    transitive:
+        Feed newly found duplicates back as a new frontier (see module
+        docstring).
+    """
+
+    def __init__(
+        self,
+        index: TableIndex,
+        matcher: Optional[ProfileMatcher] = None,
+        meta_blocking: Optional[MetaBlockingConfig] = None,
+        use_link_index: bool = True,
+        transitive: bool = True,
+        collect_candidates: bool = False,
+    ):
+        self.index = index
+        self.matcher = matcher or ProfileMatcher(exclude=(index.table.schema.id_column,))
+        self.meta_blocking = meta_blocking or MetaBlockingConfig.all()
+        self.use_link_index = use_link_index
+        self.transitive = transitive
+        self.collect_candidates = collect_candidates
+
+    # -- public API ------------------------------------------------------
+    def deduplicate(
+        self,
+        query_ids: Iterable[Any],
+        context: Optional[ExecutionContext] = None,
+        stats: Optional[DedupStats] = None,
+    ) -> DedupResult:
+        """Run the full operator pipeline for the evaluated set *query_ids*."""
+        context = context or ExecutionContext()
+        stats = stats or DedupStats()
+        query_set: Set[Any] = set(query_ids)
+        links = LinkSet()
+        link_index = self.index.link_index
+
+        # Entities a previous query resolved: read their links from LI.
+        if self.use_link_index:
+            resolved = link_index.resolved_subset(query_set)
+            stats.skipped_resolved = len(resolved)
+            for entity_id in resolved:
+                for dup in link_index.cluster_of(entity_id):
+                    if dup != entity_id:
+                        links.add(entity_id, dup)
+        else:
+            resolved = set()
+
+        frontier = query_set - resolved
+        stats.frontier_size = len(frontier)
+        compared: Set[Tuple[Any, Any]] = set()
+        processed: Set[Any] = set(resolved)
+
+        while frontier:
+            stats.rounds += 1
+            newly_found = self._resolve_frontier(frontier, links, compared, context, stats)
+            processed.update(frontier)
+            if self.use_link_index:
+                link_index.mark_resolved(frontier)
+            if not self.transitive:
+                break
+            # Newly discovered duplicates become the next frontier —
+            # except those already processed or resolved in LI (whose
+            # clusters we already pulled in).
+            next_frontier = set()
+            for entity_id in newly_found:
+                if entity_id in processed:
+                    continue
+                if self.use_link_index and link_index.is_resolved(entity_id):
+                    for dup in link_index.cluster_of(entity_id):
+                        if dup != entity_id:
+                            links.add(entity_id, dup)
+                    processed.add(entity_id)
+                    continue
+                next_frontier.add(entity_id)
+            frontier = next_frontier
+
+        if self.use_link_index:
+            link_index.add_links(links)
+
+        duplicate_ids = (links.entities() | self._closure(links, query_set)) - query_set
+        return DedupResult(self.index.table, query_set, duplicate_ids, links)
+
+    # -- pipeline stages ------------------------------------------------------
+    def _resolve_frontier(
+        self,
+        frontier: Set[Any],
+        links: LinkSet,
+        compared: Set[Tuple[Any, Any]],
+        context: ExecutionContext,
+        stats: DedupStats,
+    ) -> Set[Any]:
+        """One pipeline pass over *frontier*; returns newly linked ids."""
+        # (i) Query Blocking — QBI over the frontier.
+        with context.timed("block-join"):
+            qbi = self.index.query_block_index(frontier)
+            stats.qbi_blocks = max(stats.qbi_blocks, len(qbi))
+            # (ii) Block-Join — enrich with co-occurring table entities.
+            eqbi = self.index.block_join(qbi)
+        stats.eqbi_blocks = max(stats.eqbi_blocks, len(eqbi))
+        stats.eqbi_comparisons_before += eqbi.cardinality
+
+        # (iii) Meta-Blocking — BP → BF → EP, with the Edge-Pruning
+        # graph scoped to frontier-incident edges (the only comparisons
+        # the next stage executes, §6.1(iv)).
+        with context.timed("meta-blocking"):
+            refined = apply_meta_blocking(eqbi, self.meta_blocking, focus=frontier)
+        stats.eqbi_comparisons_after += refined.cardinality
+
+        # (iv) Comparison-Execution — QE-side pairs only, each pair once.
+        newly_found: Set[Any] = set()
+        with context.timed("resolution"):
+            cache: dict = {}
+            fetch = self.index.entities.attributes
+
+            def attributes(entity_id: Any) -> dict:
+                attrs = cache.get(entity_id)
+                if attrs is None:
+                    attrs = fetch(entity_id)
+                    cache[entity_id] = attrs
+                return attrs
+
+            for block in refined:
+                members = _safe_sorted(block.entities)
+                for i, left in enumerate(members):
+                    for right in members[i + 1 :]:
+                        if left not in frontier and right not in frontier:
+                            continue  # only resolve the current selection
+                        pair = canonical_pair(left, right)
+                        if pair in compared:
+                            continue  # comparisons in multiple blocks run once
+                        compared.add(pair)
+                        if self.collect_candidates:
+                            stats.candidate_pairs.append(pair)
+                        context.comparisons += 1
+                        stats.executed_comparisons += 1
+                        if self.matcher.matches(attributes(left), attributes(right)):
+                            links.add(left, right)
+                            stats.matches_found += 1
+                            newly_found.add(left)
+                            newly_found.add(right)
+        return newly_found
+
+    @staticmethod
+    def _closure(links: LinkSet, query_set: Set[Any]) -> Set[Any]:
+        """All entities reachable from QE through L_E."""
+        reached: Set[Any] = set()
+        for entity_id in query_set:
+            reached |= links.cluster_of(entity_id)
+        return reached

@@ -1,0 +1,82 @@
+"""Entity views over storage rows.
+
+The ER layer reasons about *entities* — an id plus an attribute map —
+while the SQL layer reasons about rows.  :class:`EntityCollection` is the
+bridge: a read-only entity-oriented view of a :class:`~repro.storage.table.Table`
+that excludes the identifier column from blocking/matching (its values
+are unique by definition and would defeat both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Mapping, Tuple
+
+from repro.storage.table import Row, Table
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One entity: identifier + non-id attribute values."""
+
+    id: Any
+    attributes: Mapping[str, Any]
+
+    @classmethod
+    def from_row(cls, row: Row) -> "Entity":
+        attributes = {
+            name: value
+            for name, value in row.as_dict().items()
+            if name != row.schema.id_column
+        }
+        return cls(row.id, attributes)
+
+
+class EntityCollection:
+    """Entity-oriented view of a table (the paper's E)."""
+
+    def __init__(self, table: Table):
+        self._table = table
+        self._id_column = table.schema.id_column
+
+    @property
+    def table(self) -> Table:
+        return self._table
+
+    @property
+    def name(self) -> str:
+        return self._table.name
+
+    @property
+    def id_column(self) -> str:
+        return self._id_column
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, entity_id: Any) -> bool:
+        return entity_id in self._table
+
+    def __iter__(self) -> Iterator[Entity]:
+        for row in self._table:
+            yield Entity.from_row(row)
+
+    def items(self) -> Iterator[Tuple[Any, Dict[str, Any]]]:
+        """Yield ``(entity_id, attributes)`` pairs for blocking functions."""
+        for row in self._table:
+            yield row.id, self.attributes_of_row(row)
+
+    def attributes_of_row(self, row: Row) -> Dict[str, Any]:
+        """Non-id attribute map of a row."""
+        return {
+            name: value
+            for name, value in zip(row.schema.names, row.values)
+            if name != self._id_column
+        }
+
+    def attributes(self, entity_id: Any) -> Dict[str, Any]:
+        """Non-id attribute map of the entity with the given id."""
+        return self.attributes_of_row(self._table.by_id(entity_id))
+
+    def entity(self, entity_id: Any) -> Entity:
+        return Entity.from_row(self._table.by_id(entity_id))

@@ -1,0 +1,139 @@
+"""QueryER's per-table in-memory indices (paper §3, §6.1).
+
+* **Table Block Index (TBI)** — block key → record ids over the whole
+  collection; built once at registration.
+* **Inverse Table Block Index (ITBI)** — record id → its block keys,
+  sorted ascending by block size (what Block Filtering needs).
+* **Query Block Index (QBI)** — the same structure built on-the-fly for
+  the entities a query evaluates; produced by
+  :meth:`TableIndex.query_block_index`.
+* **Link Index (LI)** — record id → resolved duplicates, amended with
+  every query's findings; the engine of progressive cleaning (Fig 11).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from repro.core.entity import EntityCollection
+from repro.er.blocking import Block, BlockCollection, TokenBlocking
+from repro.er.linkset import LinkSet
+from repro.storage.table import Table
+
+
+class LinkIndex:
+    """LI: per-entity resolved link-sets, amended query after query.
+
+    Distinguishes *resolved* entities (their duplicates were computed —
+    possibly none were found) from merely *linked* ones, so the
+    Deduplicate operator can skip re-resolving entities that a previous
+    query already paid for (§6.1: "we only need to compute the link-sets
+    of those entities in QE that are not already in LI").
+    """
+
+    def __init__(self) -> None:
+        self._links = LinkSet()
+        self._resolved: Set[Any] = set()
+
+    @property
+    def links(self) -> LinkSet:
+        return self._links
+
+    def is_resolved(self, entity_id: Any) -> bool:
+        return entity_id in self._resolved
+
+    def resolved_subset(self, entity_ids: Iterable[Any]) -> Set[Any]:
+        """The subset of *entity_ids* already resolved."""
+        return {e for e in entity_ids if e in self._resolved}
+
+    def mark_resolved(self, entity_ids: Iterable[Any]) -> None:
+        self._resolved.update(entity_ids)
+
+    def add_links(self, links: Iterable[tuple]) -> None:
+        for a, b in links:
+            self._links.add(a, b)
+
+    def duplicates_of(self, entity_id: Any) -> Set[Any]:
+        return self._links.duplicates_of(entity_id)
+
+    def cluster_of(self, entity_id: Any) -> Set[Any]:
+        return self._links.cluster_of(entity_id)
+
+    def clear(self) -> None:
+        """Forget everything (used to measure the no-LI configuration)."""
+        self._links = LinkSet()
+        self._resolved = set()
+
+    @property
+    def resolved_count(self) -> int:
+        return len(self._resolved)
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __repr__(self) -> str:
+        return f"LinkIndex({len(self._resolved)} resolved, {len(self._links)} links)"
+
+
+class TableIndex:
+    """TBI + ITBI + LI bundle for one registered entity collection.
+
+    All three are built (or initialized empty, for LI) once-off when the
+    table is registered and live in memory (§3).  The same
+    :class:`~repro.er.blocking.TokenBlocking` instance serves the TBI and
+    every QBI so their keys stay join-compatible.
+    """
+
+    def __init__(self, table: Table, blocking: Optional[TokenBlocking] = None):
+        self.table = table
+        self.entities = EntityCollection(table)
+        self.blocking = blocking or TokenBlocking(exclude_attributes=(table.schema.id_column,))
+        self.tbi: BlockCollection = self.blocking.build(self.entities.items())
+        self.itbi: Dict[Any, List[str]] = self.tbi.inverted()
+        self.link_index = LinkIndex()
+
+    # -- QBI ----------------------------------------------------------------
+    def query_block_index(self, entity_ids: Iterable[Any]) -> BlockCollection:
+        """Build the QBI for the given evaluated entities (§6.1(i)).
+
+        Uses the ITBI (each entity's keys are already known) rather than
+        re-tokenizing, which is equivalent because TBI and QBI share the
+        blocking function.
+        """
+        qbi = BlockCollection()
+        for entity_id in entity_ids:
+            for key in self.itbi.get(entity_id, ()):
+                qbi.add(key, entity_id)
+        return qbi
+
+    # -- Block-Join -----------------------------------------------------------
+    def block_join(self, qbi: BlockCollection) -> BlockCollection:
+        """Hash-join QBI keys with TBI keys to form the enriched EQBI.
+
+        Each QBI block is enriched with every table entity sharing the
+        blocking key (§6.1(ii)); the result approximately covers all
+        "dirty" subsets relevant to the query.
+        """
+        eqbi = BlockCollection()
+        for block in qbi:
+            table_block = self.tbi.get(block.key)
+            if table_block is None:
+                continue
+            eqbi.put(Block(block.key, block.entities | table_block.entities))
+        return eqbi
+
+    # -- stats -----------------------------------------------------------------
+    @property
+    def block_count(self) -> int:
+        """|TBI| as reported in the paper's Table 7."""
+        return len(self.tbi)
+
+    def blocks_of(self, entity_id: Any) -> List[str]:
+        """ITBI lookup: the entity's block keys, ascending by block size."""
+        return list(self.itbi.get(entity_id, ()))
+
+    def __repr__(self) -> str:
+        return (
+            f"TableIndex({self.table.name!r}, |E|={len(self.table)}, "
+            f"|TBI|={len(self.tbi)}, LI={self.link_index!r})"
+        )

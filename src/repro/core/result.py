@@ -1,0 +1,135 @@
+"""Result structures of the ER operators.
+
+``DedupResult`` is the paper's DR_E — the evaluated entities QE plus the
+duplicates found for them (QE̅) and the linkset L_E.  ``GroupedEntity``
+rows form DR_G after Group-Entities fuses each duplicate cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.er.linkset import LinkSet
+from repro.storage.table import Row, Table
+
+#: Separator used when contradicting attribute values are concatenated
+#: into a single grouped representation ("EDBT | International ...").
+GROUP_SEPARATOR = " | "
+
+
+class DedupResult:
+    """DR_E: evaluated entities ∪ their duplicates, plus the linkset.
+
+    Parameters
+    ----------
+    table:
+        The base entity collection the ids refer to.
+    query_ids:
+        QE — entity ids evaluated by the query (post-WHERE).
+    duplicate_ids:
+        QE̅ — ids *not* evaluated by the query but duplicating some QE
+        member.
+    links:
+        L_E restricted to the pairs discovered/needed for this result.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        query_ids: Iterable[Any],
+        duplicate_ids: Iterable[Any] = (),
+        links: Optional[LinkSet] = None,
+    ):
+        self.table = table
+        self.query_ids: Set[Any] = set(query_ids)
+        self.duplicate_ids: Set[Any] = set(duplicate_ids) - self.query_ids
+        self.links: LinkSet = links if links is not None else LinkSet()
+
+    @property
+    def entity_ids(self) -> Set[Any]:
+        """QE ∪ QE̅ — everything DR_E contains."""
+        return self.query_ids | self.duplicate_ids
+
+    def rows(self) -> List[Row]:
+        """Materialize all DR_E rows from the base table, in table order."""
+        wanted = self.entity_ids
+        return [row for row in self.table if row.id in wanted]
+
+    def duplicates_of(self, entity_id: Any) -> Set[Any]:
+        """Duplicates of one entity according to L_E."""
+        return self.links.duplicates_of(entity_id)
+
+    def clusters(self) -> List[Set[Any]]:
+        """Duplicate clusters over DR_E, singletons included.
+
+        Every entity of DR_E appears in exactly one cluster; linked
+        entities share a cluster (transitive closure of L_E).
+        """
+        from repro.er.clustering import UnionFind
+
+        forest = UnionFind(self.entity_ids)
+        for a, b in self.links:
+            if a in self.entity_ids and b in self.entity_ids:
+                forest.union(a, b)
+        return forest.groups()
+
+    def __len__(self) -> int:
+        return len(self.entity_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"DedupResult({self.table.name!r}, |QE|={len(self.query_ids)}, "
+            f"|QE̅|={len(self.duplicate_ids)}, |L|={len(self.links)})"
+        )
+
+
+def merge_values(values: Sequence[Any]) -> Any:
+    """Fuse attribute values of one cluster into a grouped value.
+
+    Distinct non-null values are concatenated with :data:`GROUP_SEPARATOR`
+    in sorted order — sorting makes the fused value independent of the
+    order comparisons happened to run in, which is what lets a Dedupe
+    Query and the Batch Approach produce byte-identical groups.  All-null
+    clusters stay null (paper §6.3: nulls map to the empty value,
+    replaced by existing ones when available).
+    """
+    seen: List[str] = []
+    originals: List[Any] = []
+    for value in values:
+        if value is None:
+            continue
+        text = str(value)
+        if text not in seen:
+            seen.append(text)
+            originals.append(value)
+    if not seen:
+        return None
+    if len(seen) == 1:
+        # A single distinct value keeps its original type — only genuine
+        # contradictions are rendered as concatenated text.
+        return originals[0]
+    return GROUP_SEPARATOR.join(sorted(seen))
+
+
+class GroupedEntity:
+    """A hyper-entity: one fused record per duplicate cluster (§6.3)."""
+
+    def __init__(self, member_ids: Sequence[Any], attributes: Dict[str, Any]):
+        self.member_ids = tuple(member_ids)
+        self.attributes = dict(attributes)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.attributes[name]
+
+    def __repr__(self) -> str:
+        return f"GroupedEntity({list(self.member_ids)}, {self.attributes})"
+
+
+def group_cluster(table: Table, cluster: Iterable[Any]) -> GroupedEntity:
+    """Fuse the rows of one duplicate cluster into a :class:`GroupedEntity`."""
+    members = sorted(cluster, key=repr)
+    rows = [table.by_id(entity_id) for entity_id in members]
+    fused: Dict[str, Any] = {}
+    for name in table.schema.names:
+        fused[name] = merge_values([row[name] for row in rows])
+    return GroupedEntity(members, fused)

@@ -1,0 +1,219 @@
+"""ER-specific statistics for the cost-based planner (paper §7.2.1(i)).
+
+Three estimators:
+
+* **Comparison estimation** — from the WHERE clause's string literals
+  (treated as blocking keys into the TBI) derive the approximate
+  selected set S_E ≈ QE, expand it to a block collection via the ITBI,
+  apply Block Purging + Block Filtering approximations, and evaluate the
+  paper's comparison formula.  The chain stops before Edge Pruning
+  ("the cost of estimating the output of the Edge Pruning ... is very
+  high; we terminate our calculations at the BF step").
+* **Duplication factor** — a sample of each table is eagerly cleaned at
+  load time; df = duplicates found / sample size, used to estimate
+  |DR_E| from |QE|.
+* **Join percentage** — for every table pair, the fraction of rows whose
+  join value appears on the other side, used to estimate how much a join
+  shrinks each DR_E.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.core.indices import TableIndex
+from repro.er.block_filtering import DEFAULT_RATIO, retained_keys
+from repro.er.block_purging import SMOOTHING_FACTOR, purge_threshold
+from repro.er.blocking import Block, BlockCollection
+from repro.er.matching import ProfileMatcher
+from repro.er.tokenizer import tokenize_value
+from repro.sql import ast
+from repro.sql.expressions import string_literals
+
+
+class ComparisonEstimator:
+    """Estimates post-BP/BF comparisons for a query over one table."""
+
+    def __init__(
+        self,
+        index: TableIndex,
+        smoothing: float = SMOOTHING_FACTOR,
+        filter_ratio: float = DEFAULT_RATIO,
+    ):
+        self.index = index
+        self.smoothing = smoothing
+        self.filter_ratio = filter_ratio
+
+    # -- S_E ------------------------------------------------------------
+    def selected_entities(self, where: Optional[ast.Expr]) -> Set[Any]:
+        """Approximate QE from WHERE-literal blocking keys (S_E).
+
+        Walks the boolean structure: literals resolve to the union of
+        entities in the blocks of their tokens (a multi-token literal
+        intersects its tokens' blocks — the entity must mention all of
+        them); AND intersects, OR unions.  Conditions that carry no
+        usable literal (numeric ranges, MOD, IS NULL…) contribute "all
+        entities", keeping the estimate a superset as required
+        ("possibly containing false-positives but not the opposite").
+        """
+        if where is None:
+            return set(self.index.table.ids)
+        estimated = self._walk(where)
+        if estimated is None:
+            return set(self.index.table.ids)
+        return estimated
+
+    def _walk(self, node: ast.Expr) -> Optional[Set[Any]]:
+        """None means "cannot bound" (≈ the whole table)."""
+        if isinstance(node, ast.BooleanOp):
+            parts = [self._walk(operand) for operand in node.operands]
+            if node.op == "AND":
+                bounded = [p for p in parts if p is not None]
+                if not bounded:
+                    return None
+                result = set(bounded[0])
+                for part in bounded[1:]:
+                    result &= part
+                return result
+            # OR: unbounded operand ⇒ unbounded result.
+            if any(p is None for p in parts):
+                return None
+            result = set()
+            for part in parts:
+                result |= part
+            return result
+        if isinstance(node, ast.NotOp):
+            return None  # negation of a block set is ~everything
+        literals = string_literals(node)
+        if not literals:
+            return None
+        union: Set[Any] = set()
+        for literal in literals:
+            union |= self._entities_of_literal(literal)
+        return union
+
+    def _entities_of_literal(self, literal: str) -> Set[Any]:
+        """Entities in the TBI blocks of the literal's tokens (W_B)."""
+        tokens = tokenize_value(literal)
+        if not tokens:
+            return set()
+        result: Optional[Set[Any]] = None
+        for token in tokens:
+            block = self.index.tbi.get(token)
+            members = set(block.entities) if block is not None else set()
+            result = members if result is None else (result & members)
+            if not result:
+                return set()
+        return result or set()
+
+    # -- comparisons ---------------------------------------------------------
+    def estimate(self, where: Optional[ast.Expr]) -> int:
+        """Estimated executed comparisons after BP + BF (paper's C)."""
+        selected = self.selected_entities(where)
+        return self.estimate_for_entities(selected)
+
+    def estimate_for_entities(self, selected: Set[Any]) -> int:
+        """C = Σ_{b ∈ SB} |q_b|·(|S_b| − (|q_b|+1)/2) after BP + BF."""
+        if not selected:
+            return 0
+        pending = {
+            e for e in selected if not self.index.link_index.is_resolved(e)
+        }
+        if not pending:
+            return 0
+        # SB: blocks of the pending entities, enriched from the TBI.
+        sb = BlockCollection()
+        for entity_id in pending:
+            for key in self.index.itbi.get(entity_id, ()):
+                table_block = self.index.tbi.get(key)
+                if table_block is not None and key not in sb:
+                    sb.put(Block(key, table_block.entities))
+        # Approximate BP: drop blocks above the purge threshold of SB.
+        threshold = purge_threshold(sb, smoothing=self.smoothing)
+        purged = BlockCollection(
+            {b.key: b for b in sb if 0 < b.cardinality <= threshold}
+        )
+        # Approximate BF via the retained-keys rule.
+        kept = retained_keys(purged, ratio=self.filter_ratio) if len(purged) else {}
+        filtered = BlockCollection()
+        for entity_id, keys in kept.items():
+            for key in keys:
+                filtered.add(key, entity_id)
+        # Comparison formula over the filtered collection.
+        total = 0.0
+        for block in filtered:
+            q_b = sum(1 for e in block.entities if e in pending)
+            if q_b == 0:
+                continue
+            total += q_b * (block.size - (q_b + 1) / 2.0)
+        return max(0, int(math.ceil(total)))
+
+
+class TableStatistics:
+    """Load-time statistics of one table: duplication factor + sample size.
+
+    A fraction of the table is eagerly cleaned with an exhaustive
+    in-sample comparison (the sample is small, so the quadratic cost is
+    bounded) to estimate df = |duplicates| / |sample| (§7.2.1).
+    """
+
+    def __init__(
+        self,
+        index: TableIndex,
+        matcher: ProfileMatcher,
+        sample_fraction: float = 0.05,
+        max_sample: int = 200,
+        seed: int = 7,
+    ):
+        table = index.table
+        sample = table.sample(min(1.0, max(sample_fraction, 1e-9)), seed=seed)
+        rows = list(sample)[:max_sample]
+        duplicates = 0
+        attributes = index.entities.attributes_of_row
+        for i, left in enumerate(rows):
+            left_attrs = attributes(left)
+            for right in rows[i + 1 :]:
+                if matcher.matches(left_attrs, attributes(right)):
+                    duplicates += 1
+        self.sample_size = len(rows)
+        self.sample_duplicates = duplicates
+        self.duplication_factor = duplicates / len(rows) if rows else 0.0
+
+    def estimated_dr_size(self, qe_size: int) -> int:
+        """Estimated |DR_E| for a query evaluating *qe_size* entities."""
+        return int(round(qe_size * (1.0 + self.duplication_factor)))
+
+
+def join_percentage(
+    left: TableIndex,
+    right: TableIndex,
+    left_column: str,
+    right_column: str,
+) -> Tuple[float, float]:
+    """Fraction of each side whose join value appears on the other side.
+
+    Pre-computed per table pair at registration time (§7.2.1: "we
+    pre-compute for every table pair the percentage of entities that
+    join").  Join values are case-folded like the join operators do.
+    """
+
+    def values(index: TableIndex, column: str) -> Dict[Any, int]:
+        counts: Dict[Any, int] = {}
+        position = index.table.schema.position(column)
+        for row in index.table:
+            value = row.values[position]
+            if value is None:
+                continue
+            if isinstance(value, str):
+                value = value.lower()
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    left_values = values(left, left_column)
+    right_values = values(right, right_column)
+    left_total = len(left.table) or 1
+    right_total = len(right.table) or 1
+    left_joining = sum(count for value, count in left_values.items() if value in right_values)
+    right_joining = sum(count for value, count in right_values.items() if value in left_values)
+    return left_joining / left_total, right_joining / right_total

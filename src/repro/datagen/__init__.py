@@ -1,0 +1,37 @@
+"""Synthetic dirty-data generators (febrl-style) with ground truth.
+
+The paper evaluates on DBLP-Scholar, Open Academic Graph and OpenAIRE
+data plus febrl-generated people; none are redistributable here, so this
+package generates structurally equivalent datasets — same schemas,
+duplicate rates, error characteristics and join relationships — with
+ground truth tracked by construction (see DESIGN.md, substitutions).
+"""
+
+from repro.datagen.corruptor import Corruptor
+from repro.datagen.ground_truth import GroundTruth
+from repro.datagen.people import generate_people, state_in_clause
+from repro.datagen.organizations import (
+    generate_organizations,
+    generate_projects,
+    funder_in_clause,
+)
+from repro.datagen.scholarly import (
+    generate_dsd,
+    generate_oagp,
+    generate_oagv,
+    field_in_clause,
+)
+
+__all__ = [
+    "Corruptor",
+    "GroundTruth",
+    "generate_people",
+    "state_in_clause",
+    "generate_organizations",
+    "generate_projects",
+    "funder_in_clause",
+    "generate_dsd",
+    "generate_oagp",
+    "generate_oagv",
+    "field_in_clause",
+]

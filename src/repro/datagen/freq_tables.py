@@ -1,0 +1,220 @@
+"""Frequency tables driving the synthetic generators.
+
+febrl generates records "based on frequency tables of real-world data"
+(paper §9.1); these pools play that role.  Categorical attributes used by
+the benchmark workload carry explicit probability weights so queries of
+known selectivity can be composed (Q1–Q5 target ≈5% → ≈80%).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+GIVEN_NAMES: Sequence[str] = (
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "allan",
+    "lisa", "george", "nancy", "kenneth", "betty", "steven", "helen",
+    "edward", "sandra", "brian", "donna", "ronald", "carol", "anthony",
+    "ruth", "kevin", "sharon", "jason", "michelle", "jeff", "laura",
+    "gary", "amy", "nicholas", "anna", "eric", "kathleen", "stephen",
+    "shirley",
+)
+
+SURNAMES: Sequence[str] = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "davidson", "blake",
+)
+
+STREET_NAMES: Sequence[str] = (
+    "maple", "oak", "cedar", "pine", "elm", "washington", "lake", "hill",
+    "park", "main", "church", "high", "mill", "station", "victoria",
+    "king", "queen", "bridge", "green", "spring", "river", "forest",
+    "garden", "meadow", "sunset", "chestnut", "walnut", "willow",
+)
+
+STREET_TYPES: Sequence[str] = ("street", "road", "avenue", "lane", "drive", "court", "place", "crescent")
+
+SUBURBS: Sequence[str] = (
+    "newtown", "richmond", "brunswick", "parkville", "fitzroy", "carlton",
+    "kensington", "ashfield", "burwood", "chatswood", "epping", "hornsby",
+    "penrith", "liverpool", "bankstown", "sunbury", "werribee", "frankston",
+    "dandenong", "geelong", "ballarat", "bendigo", "mildura", "shepparton",
+)
+
+#: (state code, probability) — the workload's selectivity dial for PPL:
+#: Q1 = nt (≈5%); Q2 = nt+act+tas (≈20%); Q3 adds sa+wa (≈35%); …
+STATE_WEIGHTS: Sequence[Tuple[str, float]] = (
+    ("nt", 0.05),
+    ("act", 0.10),
+    ("tas", 0.05),
+    ("sa", 0.10),
+    ("wa", 0.15),
+    ("qld", 0.15),
+    ("vic", 0.20),
+    ("nsw", 0.20),
+)
+
+#: (research field, probability) — the selectivity dial for OAGP.
+FIELD_WEIGHTS: Sequence[Tuple[str, float]] = (
+    ("databases", 0.05),
+    ("compilers", 0.10),
+    ("theory", 0.05),
+    ("security", 0.10),
+    ("networks", 0.15),
+    ("graphics", 0.15),
+    ("vision", 0.20),
+    ("learning", 0.20),
+)
+
+#: (funder, probability) — the selectivity dial for OAP.
+FUNDER_WEIGHTS: Sequence[Tuple[str, float]] = (
+    ("elidek", 0.05),
+    ("epsrc", 0.10),
+    ("dfg", 0.05),
+    ("nih", 0.10),
+    ("anr", 0.15),
+    ("nsf", 0.15),
+    ("ec", 0.20),
+    ("msca", 0.20),
+)
+
+def _pseudo_words(count: int, seed: int = 1234) -> List[str]:
+    """Deterministic pronounceable pseudo-words (consonant-vowel syllables).
+
+    Real titles/abstracts draw on a vocabulary of tens of thousands of
+    words with a Zipfian frequency profile; a 50-word pool would make
+    every record pair share tokens and destroy blocking discriminability
+    (and with it, the paper's cost profile).  This pool plus
+    :func:`zipf_word` reproduces the realistic regime.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    consonants = "bcdfghjklmnprstvz"
+    vowels = "aeiou"
+    words: List[str] = []
+    seen = set()
+    while len(words) < count:
+        syllables = rng.randint(2, 4)
+        word = "".join(
+            rng.choice(consonants) + rng.choice(vowels) for _ in range(syllables)
+        )
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+#: Large vocabulary for titles/keywords/abstracts (see _pseudo_words).
+WORD_POOL: Sequence[str] = tuple(_pseudo_words(12000))
+
+
+def zipf_word(rng, pool: Sequence[str] = WORD_POOL) -> str:
+    """Draw one word with a Zipf-like skew (low ranks are frequent)."""
+    index = int(len(pool) * (rng.random() ** 2.0))
+    return pool[min(index, len(pool) - 1)]
+
+
+def zipf_phrase(rng, length: int, pool: Sequence[str] = WORD_POOL) -> str:
+    """A phrase of *length* Zipf-sampled words."""
+    return " ".join(zipf_word(rng, pool) for _ in range(length))
+
+
+def heaps_pool(corpus_tokens: int, k: float = 25.0, beta: float = 0.55) -> Sequence[str]:
+    """A vocabulary sized by Heaps' law for a corpus of *corpus_tokens*.
+
+    Real corpora grow their vocabulary as V = K·Nᵝ; sampling every
+    dataset size from one fixed pool would make larger datasets
+    artificially denser (every token shared by linearly more records),
+    distorting blocking statistics.  The returned slice of
+    :data:`WORD_POOL` keeps per-record token discriminability roughly
+    scale-invariant, like real text.
+    """
+    size = int(k * (max(corpus_tokens, 1) ** beta))
+    size = max(300, min(size, len(WORD_POOL)))
+    return WORD_POOL[:size]
+
+
+TITLE_WORDS: Sequence[str] = (
+    "entity", "resolution", "scalable", "adaptive", "incremental",
+    "distributed", "parallel", "approximate", "efficient", "robust",
+    "learning", "indexing", "blocking", "matching", "crowdsourced",
+    "streaming", "temporal", "spatial", "probabilistic", "declarative",
+    "interactive", "progressive", "holistic", "schema", "agnostic",
+    "graph", "neural", "transformer", "federated", "secure", "query",
+    "processing", "optimization", "evaluation", "benchmark", "framework",
+    "analysis", "aware", "deduplication", "cleaning", "integration",
+    "discovery", "profiling", "wrangling", "provenance", "lineage",
+    "sampling", "summarization", "compression", "partitioning",
+)
+
+VENUE_NAMES: Sequence[Tuple[str, str]] = (
+    # (acronym, full name) pairs; both spellings occur in dirty data.
+    ("edbt", "international conference on extending database technology"),
+    ("sigmod", "acm sigmod international conference on management of data"),
+    ("vldb", "international conference on very large data bases"),
+    ("icde", "ieee international conference on data engineering"),
+    ("cidr", "conference on innovative data systems research"),
+    ("kdd", "acm sigkdd conference on knowledge discovery and data mining"),
+    ("cikm", "acm international conference on information and knowledge management"),
+    ("icdm", "ieee international conference on data mining"),
+    ("wsdm", "acm international conference on web search and data mining"),
+    ("www", "the web conference"),
+    ("sigir", "acm sigir conference on research and development in information retrieval"),
+    ("pods", "acm symposium on principles of database systems"),
+    ("damon", "international workshop on data management on new hardware"),
+    ("tkde", "ieee transactions on knowledge and data engineering"),
+    ("pvldb", "proceedings of the vldb endowment"),
+    ("jdiq", "acm journal of data and information quality"),
+    ("is", "information systems journal"),
+    ("dke", "data and knowledge engineering"),
+    ("dapd", "distributed and parallel databases"),
+    ("kais", "knowledge and information systems"),
+)
+
+ORG_WORDS: Sequence[str] = (
+    "national", "institute", "university", "research", "center", "centre",
+    "laboratory", "academy", "college", "technical", "polytechnic",
+    "foundation", "agency", "council", "athena", "max", "planck", "helmholtz",
+    "fraunhofer", "cnrs", "inria", "csiro", "tno", "vtt", "sintef",
+)
+
+COUNTRIES: Sequence[str] = (
+    "greece", "germany", "france", "italy", "spain", "netherlands",
+    "austria", "belgium", "portugal", "sweden", "finland", "denmark",
+    "norway", "ireland", "poland", "switzerland",
+)
+
+PUBLISHERS: Sequence[str] = ("acm", "ieee", "springer", "elsevier", "morgan kaufmann", "now publishers")
+
+LANGUAGES: Sequence[str] = ("en", "en", "en", "en", "de", "fr", "el")
+
+DOC_TYPES: Sequence[str] = ("conference", "conference", "journal", "workshop", "preprint")
+
+
+def cumulative(weights: Sequence[Tuple[str, float]]) -> List[Tuple[str, float]]:
+    """Prefix-sum a (value, probability) table for roulette selection."""
+    total = 0.0
+    out: List[Tuple[str, float]] = []
+    for value, weight in weights:
+        total += weight
+        out.append((value, total))
+    return out
+
+
+def pick_weighted(rng, weights: Sequence[Tuple[str, float]]) -> str:
+    """Draw one value from a (value, probability) table."""
+    point = rng.random() * sum(w for _, w in weights)
+    total = 0.0
+    for value, weight in weights:
+        total += weight
+        if point <= total:
+            return value
+    return weights[-1][0]

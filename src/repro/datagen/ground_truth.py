@@ -1,0 +1,66 @@
+"""Ground-truth bookkeeping for generated dirty datasets.
+
+Generators know which dirty records descend from which original, so the
+true duplicate clusters — and therefore the true pair set used by Pair
+Completeness — are tracked by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Set, Tuple
+
+from repro.er.linkset import LinkSet, canonical_pair
+
+
+class GroundTruth:
+    """True duplicate clusters of a generated dataset."""
+
+    def __init__(self) -> None:
+        self._clusters: Dict[Any, Set[Any]] = {}
+
+    def add_original(self, entity_id: Any) -> None:
+        """Register a clean original record as its own cluster."""
+        self._clusters.setdefault(entity_id, {entity_id})
+
+    def add_duplicate(self, original_id: Any, duplicate_id: Any) -> None:
+        """Register *duplicate_id* as a dirty copy of *original_id*."""
+        cluster = self._clusters.setdefault(original_id, {original_id})
+        cluster.add(duplicate_id)
+
+    def clusters(self) -> List[Set[Any]]:
+        """All clusters with at least two members."""
+        return [set(c) for c in self._clusters.values() if len(c) >= 2]
+
+    def pairs(self) -> Set[Tuple[Any, Any]]:
+        """Every true duplicate pair (the paper's |L_E| counts these)."""
+        out: Set[Tuple[Any, Any]] = set()
+        for cluster in self._clusters.values():
+            members = sorted(cluster, key=repr)
+            for i, left in enumerate(members):
+                for right in members[i + 1 :]:
+                    out.add(canonical_pair(left, right))
+        return out
+
+    def pairs_within(self, entity_ids: Iterable[Any]) -> Set[Tuple[Any, Any]]:
+        """True pairs whose *both* endpoints lie in *entity_ids*."""
+        wanted = set(entity_ids)
+        return {p for p in self.pairs() if p[0] in wanted and p[1] in wanted}
+
+    def linkset(self) -> LinkSet:
+        """The full true linkset L_E."""
+        return LinkSet(self.pairs())
+
+    def cluster_of(self, entity_id: Any) -> Set[Any]:
+        """The true cluster containing *entity_id* (singleton if unknown)."""
+        for cluster in self._clusters.values():
+            if entity_id in cluster:
+                return set(cluster)
+        return {entity_id}
+
+    @property
+    def duplicate_count(self) -> int:
+        """Total number of true duplicate pairs."""
+        return len(self.pairs())
+
+    def __repr__(self) -> str:
+        return f"GroundTruth({len(self._clusters)} clusters, {self.duplicate_count} pairs)"

@@ -1,0 +1,166 @@
+"""OAO / OAP: OpenAIRE-style organisations and projects (paper §9.1).
+
+"The Organisations (OAO) and Projects (OAP) datasets are real datasets
+...  Both datasets have been modified using the febrl to include 10%
+duplicate records."  The generators mimic their schemas (|A| = 3 and
+|A| = 8, Table 7), the 10% duplicate rate, and the OAP→OAO join on the
+organisation name that the SPJ workload exercises.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.datagen import freq_tables as ft
+from repro.datagen.corruptor import Corruptor
+from repro.datagen.ground_truth import GroundTruth
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import Table
+
+ORG_COLUMNS = ("name", "country", "org_type")
+PROJECT_COLUMNS = (
+    "title",
+    "acronym",
+    "funder",
+    "organisation",
+    "start_year",
+    "end_year",
+    "budget",
+    "programme",
+)
+
+ORG_PROTECTED = ("id", "name")
+PROJECT_PROTECTED = ("id", "funder", "organisation")
+
+_ORG_TYPES = ("research", "university", "company", "public body")
+_PROGRAMMES = ("h2020", "fp7", "horizon europe", "national", "bilateral")
+
+
+def org_schema() -> Schema:
+    columns = [Column("id", ColumnType.INTEGER)]
+    columns.extend(Column(name) for name in ORG_COLUMNS)
+    return Schema(columns, id_column="id")
+
+
+def project_schema() -> Schema:
+    columns = [Column("id", ColumnType.INTEGER)]
+    columns.extend(Column(name) for name in PROJECT_COLUMNS)
+    return Schema(columns, id_column="id")
+
+
+def _org_record(rng: random.Random, used_names: set) -> Dict[str, Any]:
+    while True:
+        words = rng.sample(ft.ORG_WORDS, k=rng.randint(2, 4))
+        name = " ".join(words)
+        if name not in used_names:
+            used_names.add(name)
+            break
+    return {
+        "name": name,
+        "country": rng.choice(ft.COUNTRIES),
+        "org_type": rng.choice(_ORG_TYPES),
+    }
+
+
+def generate_organizations(
+    size: int,
+    duplicate_fraction: float = 0.10,
+    seed: int = 17,
+    name: str = "OAO",
+) -> Tuple[Table, GroundTruth]:
+    """Generate the OAO-like organisations table (10% duplicates)."""
+    rng = random.Random(seed)
+    corruptor = Corruptor(rng)
+    truth = GroundTruth()
+    used_names: set = set()
+
+    duplicate_target = int(size * duplicate_fraction)
+    original_target = size - duplicate_target
+    rows: List[tuple] = []
+    originals: List[Tuple[int, Dict[str, Any]]] = []
+    next_id = 1
+    for _ in range(original_target):
+        record = _org_record(rng, used_names)
+        originals.append((next_id, record))
+        truth.add_original(next_id)
+        rows.append((next_id,) + tuple(record[c] for c in ORG_COLUMNS))
+        next_id += 1
+    while len(rows) < size:
+        original_id, record = rng.choice(originals)
+        dirty = corruptor.corrupt_record(record, protected=ORG_PROTECTED)
+        truth.add_duplicate(original_id, next_id)
+        rows.append((next_id,) + tuple(dirty.get(c) for c in ORG_COLUMNS))
+        next_id += 1
+    return Table(name, org_schema(), rows), truth
+
+
+def generate_projects(
+    size: int,
+    organisations: Sequence[str],
+    duplicate_fraction: float = 0.10,
+    join_fraction: float = 0.8,
+    seed: int = 23,
+    name: str = "OAP",
+) -> Tuple[Table, GroundTruth]:
+    """Generate the OAP-like projects table.
+
+    ``organisations`` should be the *names* of OAO rows; a
+    ``join_fraction`` of the projects reference one of them (the rest
+    point at organisations outside OAO, controlling the join
+    percentage that the AES planner estimates).
+    """
+    if not organisations:
+        raise ValueError("projects need candidate organisation names")
+    rng = random.Random(seed)
+    corruptor = Corruptor(rng)
+    truth = GroundTruth()
+
+    duplicate_target = int(size * duplicate_fraction)
+    original_target = size - duplicate_target
+    rows: List[tuple] = []
+    originals: List[Tuple[int, Dict[str, Any]]] = []
+    next_id = 1
+    for _ in range(original_target):
+        words = (rng.sample(ft.TITLE_WORDS, k=2) + ft.zipf_phrase(rng, rng.randint(1, 4)).split())
+        start = rng.randint(2008, 2022)
+        if rng.random() < join_fraction:
+            organisation = rng.choice(list(organisations))
+        else:
+            organisation = "independent " + " ".join(rng.sample(ft.ORG_WORDS, k=2))
+        record = {
+            "title": " ".join(words),
+            "acronym": "".join(w[0] for w in words).upper(),
+            "funder": ft.pick_weighted(rng, ft.FUNDER_WEIGHTS),
+            "organisation": organisation,
+            "start_year": str(start),
+            "end_year": str(start + rng.randint(2, 5)),
+            "budget": str(rng.randint(100, 5000) * 1000),
+            "programme": rng.choice(_PROGRAMMES),
+        }
+        originals.append((next_id, record))
+        truth.add_original(next_id)
+        rows.append((next_id,) + tuple(record[c] for c in PROJECT_COLUMNS))
+        next_id += 1
+    while len(rows) < size:
+        original_id, record = rng.choice(originals)
+        dirty = corruptor.corrupt_record(record, protected=PROJECT_PROTECTED)
+        truth.add_duplicate(original_id, next_id)
+        rows.append((next_id,) + tuple(dirty.get(c) for c in PROJECT_COLUMNS))
+        next_id += 1
+    return Table(name, project_schema(), rows), truth
+
+
+def funder_in_clause(selectivity: float) -> str:
+    """A ``funder IN (...)`` predicate of ≈ the requested selectivity."""
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError("selectivity must be in (0, 1]")
+    chosen: List[str] = []
+    accumulated = 0.0
+    for funder, weight in ft.FUNDER_WEIGHTS:
+        if accumulated >= selectivity - 1e-9:
+            break
+        chosen.append(funder)
+        accumulated += weight
+    values = ", ".join(f"'{f}'" for f in chosen)
+    return f"funder IN ({values})"

@@ -1,0 +1,143 @@
+"""PPL: febrl-style synthetic people datasets (paper §9.1).
+
+"First, duplicate-free people records were produced based on frequency
+tables of real-world data.  Also, an extra attribute was explicitly
+added to each record to assign an organisation to each person (from OAO)
+...  Then, duplicates of these records were randomly generated based on
+real-world error characteristics.  The resulting datasets contain 40%
+duplicate records with up to 3 duplicates per record, no more than 2
+modifications/attribute, and up to 4 modifications/record."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.datagen import freq_tables as ft
+from repro.datagen.corruptor import Corruptor
+from repro.datagen.ground_truth import GroundTruth
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import Table
+
+#: 12 attributes beside the id, matching |A| = 12 of Table 7.
+PEOPLE_COLUMNS = (
+    "given_name",
+    "surname",
+    "street_number",
+    "address",
+    "suburb",
+    "postcode",
+    "state",
+    "date_of_birth",
+    "age",
+    "phone",
+    "email",
+    "organisation",
+)
+
+#: Attributes never corrupted: the workload filters on ``state`` and the
+#: SPJ benchmarks join on ``organisation``; duplicates must stay in the
+#: same stratum / join group for selectivity control to be meaningful.
+PROTECTED = ("id", "state", "organisation")
+
+
+def people_schema() -> Schema:
+    columns = [Column("id", ColumnType.INTEGER)]
+    columns.extend(Column(name) for name in PEOPLE_COLUMNS)
+    return Schema(columns, id_column="id")
+
+
+def _base_record(rng: random.Random, organisations: Sequence[str]) -> Dict[str, Any]:
+    given = rng.choice(ft.GIVEN_NAMES)
+    surname = rng.choice(ft.SURNAMES)
+    year = rng.randint(1940, 2004)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return {
+        "given_name": given,
+        "surname": surname,
+        "street_number": str(rng.randint(1, 400)),
+        "address": f"{rng.choice(ft.STREET_NAMES)} {rng.choice(ft.STREET_TYPES)}",
+        "suburb": rng.choice(ft.SUBURBS),
+        "postcode": str(rng.randint(2000, 7999)),
+        "state": ft.pick_weighted(rng, ft.STATE_WEIGHTS),
+        "date_of_birth": f"{year:04d}-{month:02d}-{day:02d}",
+        "age": str(2024 - year),
+        "phone": "0%d %04d %04d" % (rng.randint(2, 9), rng.randint(0, 9999), rng.randint(0, 9999)),
+        "email": f"{given}.{surname}{rng.randint(1, 99)}@example.org",
+        "organisation": rng.choice(organisations) if organisations else None,
+    }
+
+
+def generate_people(
+    size: int,
+    duplicate_fraction: float = 0.4,
+    max_duplicates_per_record: int = 3,
+    organisations: Sequence[str] = (),
+    seed: int = 42,
+    name: str = "PPL",
+) -> Tuple[Table, GroundTruth]:
+    """Generate a dirty people table of exactly *size* rows.
+
+    ``duplicate_fraction`` of the rows are corrupted copies of earlier
+    originals (the paper's PPL datasets use 40%); each original spawns at
+    most ``max_duplicates_per_record`` copies.  Returns the table and its
+    ground truth.
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    if not 0.0 <= duplicate_fraction < 1.0:
+        raise ValueError("duplicate_fraction must be in [0, 1)")
+    rng = random.Random(seed)
+    corruptor = Corruptor(rng)
+    truth = GroundTruth()
+
+    duplicate_target = int(size * duplicate_fraction)
+    original_target = size - duplicate_target
+
+    rows: List[tuple] = []
+    originals: List[Tuple[int, Dict[str, Any]]] = []
+    next_id = 1
+    for _ in range(original_target):
+        record = _base_record(rng, organisations)
+        originals.append((next_id, record))
+        truth.add_original(next_id)
+        rows.append(_to_row(next_id, record))
+        next_id += 1
+
+    spawned: Dict[int, int] = {}
+    while len(rows) < size:
+        original_id, record = rng.choice(originals)
+        if spawned.get(original_id, 0) >= max_duplicates_per_record:
+            continue
+        spawned[original_id] = spawned.get(original_id, 0) + 1
+        dirty = corruptor.corrupt_record(record, protected=PROTECTED)
+        truth.add_duplicate(original_id, next_id)
+        rows.append(_to_row(next_id, dirty))
+        next_id += 1
+
+    return Table(name, people_schema(), rows), truth
+
+
+def _to_row(entity_id: int, record: Dict[str, Any]) -> tuple:
+    return (entity_id,) + tuple(record.get(column) for column in PEOPLE_COLUMNS)
+
+
+def state_in_clause(selectivity: float) -> str:
+    """An ``state IN (...)`` predicate with ≈ the requested selectivity.
+
+    Greedily accumulates states (smallest weight first) until the target
+    fraction is reached — the mechanism behind workload queries Q1–Q5.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError("selectivity must be in (0, 1]")
+    chosen: List[str] = []
+    accumulated = 0.0
+    for state, weight in ft.STATE_WEIGHTS:
+        if accumulated >= selectivity - 1e-9:
+            break
+        chosen.append(state)
+        accumulated += weight
+    values = ", ".join(f"'{s}'" for s in chosen)
+    return f"state IN ({values})"

@@ -1,0 +1,249 @@
+"""Scholarly datasets: DSD (DBLP-Scholar style) and OAGP/OAGV (OAG style).
+
+* **DSD** — bibliographic records harvested from two sources (DBLP and
+  Google Scholar in the paper): the same publication appears once per
+  source with source-specific distortions (abbreviated author names,
+  venue acronym vs full name, missing years).  |A| = 4.
+* **OAGP** — Open Academic Graph papers with a wide schema (|A| = 18)
+  whose ``venue`` attribute joins **OAGV**'s ``title`` (|A| = 5), the
+  join the SPJ workload Q6b/Q7b/Q8b exercises.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.datagen import freq_tables as ft
+from repro.datagen.corruptor import Corruptor
+from repro.datagen.ground_truth import GroundTruth
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import Table
+
+DSD_COLUMNS = ("title", "authors", "venue", "year")
+
+OAGP_COLUMNS = (
+    "title",
+    "authors",
+    "venue",
+    "year",
+    "field",
+    "keywords",
+    "abstract_head",
+    "publisher",
+    "volume",
+    "issue",
+    "pages",
+    "doi",
+    "issn",
+    "language",
+    "doc_type",
+    "n_citation",
+    "url",
+    "source",
+)
+
+OAGV_COLUMNS = ("title", "description", "rank", "frequency", "est")
+
+DSD_PROTECTED = ("id", "venue")
+OAGP_PROTECTED = ("id", "venue", "field")
+OAGV_PROTECTED = ("id", "title")
+
+
+def dsd_schema() -> Schema:
+    columns = [Column("id", ColumnType.INTEGER)]
+    columns.extend(Column(name) for name in DSD_COLUMNS)
+    return Schema(columns, id_column="id")
+
+
+def oagp_schema() -> Schema:
+    columns = [Column("id", ColumnType.INTEGER)]
+    columns.extend(Column(name) for name in OAGP_COLUMNS)
+    return Schema(columns, id_column="id")
+
+
+def oagv_schema() -> Schema:
+    columns = [Column("id", ColumnType.INTEGER)]
+    columns.extend(Column(name) for name in OAGV_COLUMNS)
+    return Schema(columns, id_column="id")
+
+
+def _authors(rng: random.Random) -> str:
+    count = rng.randint(1, 3)
+    names = []
+    for _ in range(count):
+        names.append(f"{rng.choice(ft.GIVEN_NAMES)} {rng.choice(ft.SURNAMES)}")
+    return ", ".join(names)
+
+
+def _title(rng: random.Random, pool=ft.WORD_POOL) -> str:
+    # A couple of domain terms plus Zipf-sampled vocabulary: realistic
+    # token-frequency profile (see freq_tables.WORD_POOL).
+    domain = rng.sample(ft.TITLE_WORDS, k=2)
+    return " ".join(domain) + " " + ft.zipf_phrase(rng, rng.randint(2, 5), pool)
+
+
+def generate_dsd(
+    size: int,
+    overlap_fraction: float = 0.5,
+    seed: int = 5,
+    name: str = "DSD",
+) -> Tuple[Table, GroundTruth]:
+    """Two-source bibliographic dataset à la DBLP-Scholar.
+
+    ``overlap_fraction`` of the underlying publications are harvested by
+    both sources (and therefore duplicated, with the second copy
+    distorted); the rest appear once.
+    """
+    rng = random.Random(seed)
+    corruptor = Corruptor(rng, max_mods_per_record=3)
+    truth = GroundTruth()
+    rows: List[tuple] = []
+    next_id = 1
+    venues = list(ft.VENUE_NAMES)
+    pool = ft.heaps_pool(8 * size)
+    while len(rows) < size:
+        acronym, full = rng.choice(venues)
+        record = {
+            "title": _title(rng, pool),
+            "authors": _authors(rng),
+            "venue": acronym,
+            "year": str(rng.randint(1995, 2023)),
+        }
+        original_id = next_id
+        truth.add_original(original_id)
+        rows.append((original_id,) + tuple(record[c] for c in DSD_COLUMNS))
+        next_id += 1
+        if len(rows) < size and rng.random() < overlap_fraction:
+            # Second-source copy: full venue name + febrl-style noise.
+            copy = dict(record)
+            copy["venue"] = full
+            dirty = corruptor.corrupt_record(copy, protected=("id",))
+            truth.add_duplicate(original_id, next_id)
+            rows.append((next_id,) + tuple(dirty.get(c) for c in DSD_COLUMNS))
+            next_id += 1
+    return Table(name, dsd_schema(), rows), truth
+
+
+def generate_oagv(
+    size: int = 130,
+    duplicate_fraction: float = 0.2,
+    seed: int = 11,
+    name: str = "OAGV",
+) -> Tuple[Table, GroundTruth]:
+    """OAG venues: acronym records plus full-name duplicate records."""
+    rng = random.Random(seed)
+    corruptor = Corruptor(rng, max_mods_per_record=2)
+    truth = GroundTruth()
+    rows: List[tuple] = []
+    next_id = 1
+    base_index = 0
+    base = list(ft.VENUE_NAMES)
+    while len(rows) < size:
+        acronym, full = base[base_index % len(base)]
+        suffix = "" if base_index < len(base) else f" {1 + base_index // len(base)}"
+        base_index += 1
+        est = str(rng.randint(1970, 2010))
+        record = {
+            "title": acronym + suffix,
+            "description": full + suffix,
+            "rank": str(rng.randint(1, 3)),
+            "frequency": rng.choice(("annual", "yearly", "biennial")),
+            "est": est,
+        }
+        original_id = next_id
+        truth.add_original(original_id)
+        rows.append((original_id,) + tuple(record[c] for c in OAGV_COLUMNS))
+        next_id += 1
+        if len(rows) < size and rng.random() < duplicate_fraction:
+            # The duplicate venue record lists the full name as its title
+            # (acronym vs spelled-out form, like V1/V4 in the paper's
+            # Table 2); remaining attributes get febrl-style noise.
+            copy = dict(record)
+            copy["title"] = full + suffix
+            copy["description"] = acronym + suffix
+            dirty = corruptor.corrupt_record(copy, protected=OAGV_PROTECTED)
+            truth.add_duplicate(original_id, next_id)
+            rows.append((next_id,) + tuple(dirty.get(c) for c in OAGV_COLUMNS))
+            next_id += 1
+    return Table(name, oagv_schema(), rows), truth
+
+
+def generate_oagp(
+    size: int,
+    venue_titles: Sequence[str] = (),
+    duplicate_fraction: float = 0.13,
+    join_fraction: float = 0.5,
+    seed: int = 29,
+    name: str = "OAGP",
+) -> Tuple[Table, GroundTruth]:
+    """OAG papers (wide 18-attribute schema, venue joins OAGV.title).
+
+    ``join_fraction`` controls the share of papers published in an OAGV
+    venue (the rest carry venues outside OAGV — the low join-percentage
+    regime §9.3 discusses).
+    """
+    rng = random.Random(seed)
+    corruptor = Corruptor(rng)
+    truth = GroundTruth()
+    venues = list(venue_titles) or [a for a, _ in ft.VENUE_NAMES]
+    pool = ft.heaps_pool(16 * size)
+
+    duplicate_target = int(size * duplicate_fraction)
+    original_target = size - duplicate_target
+    rows: List[tuple] = []
+    originals: List[Tuple[int, Dict[str, Any]]] = []
+    next_id = 1
+    for _ in range(original_target):
+        year = rng.randint(1995, 2023)
+        if rng.random() < join_fraction:
+            venue = rng.choice(venues)
+        else:
+            venue = "workshop on " + " ".join(rng.sample(ft.TITLE_WORDS, k=2))
+        title = _title(rng, pool)
+        record = {
+            "title": title,
+            "authors": _authors(rng),
+            "venue": venue,
+            "year": str(year),
+            "field": ft.pick_weighted(rng, ft.FIELD_WEIGHTS),
+            "keywords": ft.zipf_phrase(rng, 3, pool),
+            "abstract_head": ft.zipf_phrase(rng, 8, pool),
+            "publisher": rng.choice(ft.PUBLISHERS),
+            "volume": str(rng.randint(1, 40)),
+            "issue": str(rng.randint(1, 12)),
+            "pages": f"{rng.randint(1, 400)}-{rng.randint(401, 800)}",
+            "doi": f"10.{rng.randint(1000, 9999)}/{rng.randint(100000, 999999)}",
+            "issn": f"{rng.randint(1000, 9999)}-{rng.randint(1000, 9999)}",
+            "language": rng.choice(ft.LANGUAGES),
+            "doc_type": rng.choice(ft.DOC_TYPES),
+            "n_citation": str(rng.randint(0, 500)),
+            "url": "https://example.org/paper/" + title.replace(" ", "-"),
+            "source": rng.choice(("mag", "aminer")),
+        }
+        originals.append((next_id, record))
+        truth.add_original(next_id)
+        rows.append((next_id,) + tuple(record[c] for c in OAGP_COLUMNS))
+        next_id += 1
+    while len(rows) < size:
+        original_id, record = rng.choice(originals)
+        dirty = corruptor.corrupt_record(record, protected=OAGP_PROTECTED)
+        truth.add_duplicate(original_id, next_id)
+        rows.append((next_id,) + tuple(dirty.get(c) for c in OAGP_COLUMNS))
+        next_id += 1
+    return Table(name, oagp_schema(), rows), truth
+
+
+def field_in_clause(selectivity: float) -> str:
+    """A ``field IN (...)`` predicate of ≈ the requested selectivity."""
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError("selectivity must be in (0, 1]")
+    chosen: List[str] = []
+    accumulated = 0.0
+    for value, weight in ft.FIELD_WEIGHTS:
+        if accumulated >= selectivity - 1e-9:
+            break
+        chosen.append(value)
+        accumulated += weight
+    values = ", ".join(f"'{v}'" for v in chosen)
+    return f"field IN ({values})"

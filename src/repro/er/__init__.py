@@ -1,0 +1,65 @@
+"""Entity-Resolution toolkit: blocking, meta-blocking, matching, metrics.
+
+Implements the batch-ER machinery the paper builds on (Papadakis et al.'s
+schema-agnostic Token Blocking and Meta-Blocking) plus the string
+similarity functions and match clustering used by Comparison-Execution.
+"""
+
+from repro.er.tokenizer import tokenize_value, tokenize_entity
+from repro.er.blocking import Block, BlockCollection, NGramBlocking, TokenBlocking
+from repro.er.block_purging import block_purging, purge_threshold
+from repro.er.block_filtering import block_filtering
+from repro.er.edge_pruning import (
+    BlockingGraph,
+    WeightingScheme,
+    edge_pruning,
+)
+from repro.er.meta_blocking import MetaBlockingConfig, apply_meta_blocking
+from repro.er.similarity import (
+    dice,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    monge_elkan,
+    normalized_levenshtein,
+    overlap_coefficient,
+    token_jaccard,
+)
+from repro.er.matching import ProfileMatcher
+from repro.er.clustering import UnionFind, connected_components
+from repro.er.linkset import LinkSet
+from repro.er.evaluation import pair_completeness, pairs_quality, f_measure
+
+__all__ = [
+    "tokenize_value",
+    "tokenize_entity",
+    "Block",
+    "BlockCollection",
+    "NGramBlocking",
+    "TokenBlocking",
+    "block_purging",
+    "purge_threshold",
+    "block_filtering",
+    "BlockingGraph",
+    "WeightingScheme",
+    "edge_pruning",
+    "MetaBlockingConfig",
+    "apply_meta_blocking",
+    "dice",
+    "jaccard",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "monge_elkan",
+    "normalized_levenshtein",
+    "overlap_coefficient",
+    "token_jaccard",
+    "ProfileMatcher",
+    "UnionFind",
+    "connected_components",
+    "LinkSet",
+    "pair_completeness",
+    "pairs_quality",
+    "f_measure",
+]

@@ -1,0 +1,80 @@
+"""Union-find and connected components for match clustering.
+
+Grouping duplicate entities into a single representation requires the
+transitive closure of the pairwise linkset; a disjoint-set forest gives
+near-O(1) amortized merging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Set, Tuple
+
+
+class UnionFind:
+    """Disjoint-set forest with union by rank and path compression."""
+
+    def __init__(self, elements: Iterable[Hashable] = ()):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register *element* as its own singleton set (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: Hashable) -> Hashable:
+        """Representative of *element*'s set (auto-registers unknowns)."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets of *a* and *b*; returns the new representative."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return root_a
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        return root_a
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether *a* and *b* currently share a set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> List[Set[Hashable]]:
+        """All disjoint sets, singletons included, in deterministic order."""
+        by_root: Dict[Hashable, Set[Hashable]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        return [by_root[root] for root in sorted(by_root, key=repr)]
+
+
+def connected_components(
+    pairs: Iterable[Tuple[Any, Any]],
+    nodes: Iterable[Any] = (),
+) -> List[Set[Any]]:
+    """Connected components of the undirected graph given by *pairs*.
+
+    Extra isolated *nodes* may be supplied to appear as singletons.
+    """
+    forest = UnionFind(nodes)
+    for a, b in pairs:
+        forest.union(a, b)
+    return forest.groups()

@@ -1,0 +1,55 @@
+"""ER effectiveness measures (paper §9.1).
+
+*Pair Completeness* (PC) is the paper's primary effectiveness metric:
+the portion of ground-truth duplicates that still co-occur in at least
+one block after meta-blocking — blocking-level recall.  *Pairs Quality*
+(PQ) is the corresponding precision proxy, and ``f_measure`` combines
+the two.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Set, Tuple
+
+from repro.er.linkset import canonical_pair
+
+
+def _canonicalize(pairs: Iterable[Tuple[Any, Any]]) -> Set[Tuple[Any, Any]]:
+    return {canonical_pair(a, b) for a, b in pairs}
+
+
+def pair_completeness(
+    candidate_pairs: Iterable[Tuple[Any, Any]],
+    ground_truth: Iterable[Tuple[Any, Any]],
+) -> float:
+    """PC = |candidates ∩ truth| / |truth| ∈ [0, 1]; 1.0 for empty truth."""
+    truth = _canonicalize(ground_truth)
+    if not truth:
+        return 1.0
+    candidates = _canonicalize(candidate_pairs)
+    return len(candidates & truth) / len(truth)
+
+
+def pairs_quality(
+    candidate_pairs: Iterable[Tuple[Any, Any]],
+    ground_truth: Iterable[Tuple[Any, Any]],
+) -> float:
+    """PQ = |candidates ∩ truth| / |candidates|; 1.0 for no candidates."""
+    candidates = _canonicalize(candidate_pairs)
+    if not candidates:
+        return 1.0
+    truth = _canonicalize(ground_truth)
+    return len(candidates & truth) / len(candidates)
+
+
+def f_measure(
+    candidate_pairs: Iterable[Tuple[Any, Any]],
+    ground_truth: Iterable[Tuple[Any, Any]],
+) -> float:
+    """Harmonic mean of PC and PQ (0 when both are 0)."""
+    candidates = _canonicalize(candidate_pairs)
+    pc = pair_completeness(candidates, ground_truth)
+    pq = pairs_quality(candidates, ground_truth)
+    if pc + pq == 0.0:
+        return 0.0
+    return 2 * pc * pq / (pc + pq)

@@ -1,0 +1,97 @@
+"""Linksets — collections of resolved duplicate pairs (paper's L_E)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.er.clustering import UnionFind
+
+
+def canonical_pair(a: Any, b: Any) -> Tuple[Any, Any]:
+    """Order-insensitive representation of a duplicate pair.
+
+    Ids within one collection are homogeneous and compare directly; the
+    repr() fallback keeps mixed-type pairs (cross-table tests) working.
+    """
+    try:
+        return (a, b) if a <= b else (b, a)
+    except TypeError:
+        return (a, b) if repr(a) <= repr(b) else (b, a)
+
+
+class LinkSet:
+    """A set of matching entity pairs with adjacency lookups.
+
+    Implements the paper's ``L_E``: the output of ER over a dirty
+    collection.  Exposes both pair-level iteration (for metrics) and
+    per-entity duplicate lookup (for the Deduplicate-Join operation and
+    the Link Index).
+    """
+
+    def __init__(self, pairs: Iterable[Tuple[Any, Any]] = ()):
+        self._pairs: Set[Tuple[Any, Any]] = set()
+        self._adjacent: Dict[Any, Set[Any]] = {}
+        for a, b in pairs:
+            self.add(a, b)
+
+    def add(self, a: Any, b: Any) -> bool:
+        """Record that *a* ≡ *b*; returns False when already known/self."""
+        if a == b:
+            return False
+        pair = canonical_pair(a, b)
+        if pair in self._pairs:
+            return False
+        self._pairs.add(pair)
+        self._adjacent.setdefault(a, set()).add(b)
+        self._adjacent.setdefault(b, set()).add(a)
+        return True
+
+    def update(self, other: "LinkSet") -> None:
+        """Merge all pairs of *other* into this linkset."""
+        for a, b in other:
+            self.add(a, b)
+
+    def duplicates_of(self, entity_id: Any) -> Set[Any]:
+        """Directly-linked duplicates of *entity_id* (empty set if none)."""
+        return set(self._adjacent.get(entity_id, ()))
+
+    def cluster_of(self, entity_id: Any) -> Set[Any]:
+        """Transitive closure of duplicates including *entity_id* itself."""
+        seen = {entity_id}
+        frontier = [entity_id]
+        while frontier:
+            current = frontier.pop()
+            for neighbour in self._adjacent.get(current, ()):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return seen
+
+    def entities(self) -> Set[Any]:
+        """Every entity participating in at least one link."""
+        return set(self._adjacent)
+
+    def clusters(self) -> List[Set[Any]]:
+        """All duplicate clusters (connected components, size ≥ 2)."""
+        forest = UnionFind()
+        for a, b in self._pairs:
+            forest.union(a, b)
+        return [group for group in forest.groups() if len(group) >= 2]
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(self._pairs)
+
+    def __contains__(self, pair: Tuple[Any, Any]) -> bool:
+        return canonical_pair(*pair) in self._pairs
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LinkSet) and self._pairs == other._pairs
+
+    def copy(self) -> "LinkSet":
+        return LinkSet(self._pairs)
+
+    def __repr__(self) -> str:
+        return f"LinkSet({len(self._pairs)} pairs, {len(self._adjacent)} entities)"

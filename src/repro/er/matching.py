@@ -1,0 +1,131 @@
+"""Schema-agnostic entity matching (Comparison-Execution's inner loop).
+
+Paper §6.1(iv): "we compare the values of all corresponding attributes
+between entity pairs" with a string similarity (Jaro-Winkler by default);
+no per-attribute configuration is required.  The profile similarity is
+the *maximum* of two schema-agnostic signals:
+
+* mean Jaro-Winkler over attributes non-null on both sides, and
+* token-set Jaccard over the whole profiles,
+
+so both aligned typo-level variation and cross-attribute value shuffling
+(e.g. a venue name appearing under ``title`` on one source and
+``description`` on another) are caught.  A pair matches when that
+similarity reaches the threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from repro.er.similarity import jaccard, jaro_winkler
+from repro.er.tokenizer import tokenize_value
+
+#: Default match-decision threshold on the mean attribute similarity.
+DEFAULT_THRESHOLD = 0.75
+
+SimilarityFn = Callable[[str, str], float]
+
+
+class ProfileMatcher:
+    """Compares two entity profiles attribute-by-attribute.
+
+    Parameters
+    ----------
+    similarity:
+        Pairwise string similarity in [0, 1]; Jaro-Winkler by default.
+    threshold:
+        Minimum mean similarity for :meth:`matches` to return True.
+    exclude:
+        Attribute names ignored during comparison (the identifier column
+        must not vote — its values differ between duplicates by design).
+    """
+
+    def __init__(
+        self,
+        similarity: SimilarityFn = jaro_winkler,
+        threshold: float = DEFAULT_THRESHOLD,
+        exclude: Iterable[str] = (),
+    ):
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be within [0, 1]")
+        self.similarity = similarity
+        self.threshold = threshold
+        self.exclude = {name.lower() for name in exclude}
+        # Value → token-set memo: attribute values repeat heavily across
+        # comparisons (categoricals, shared org names), and tokenization
+        # is the matcher's hot path.
+        self._token_cache: dict = {}
+        # (value, value) → similarity memo: categorical attributes make
+        # the same string pair recur across thousands of comparisons.
+        self._pair_cache: dict = {}
+
+    def profile_similarity(
+        self, left: Mapping[str, Any], right: Mapping[str, Any]
+    ) -> float:
+        """max(aligned-attribute mean, whole-profile token Jaccard).
+
+        An attribute is comparable when present and non-null on both
+        sides; with no comparable attribute the aligned signal is 0 (we
+        refuse to call two entirely-unknown entities duplicates on that
+        signal alone).
+        """
+        return max(
+            self._aligned_similarity(left, right),
+            self._token_similarity(left, right),
+        )
+
+    def _aligned_similarity(
+        self, left: Mapping[str, Any], right: Mapping[str, Any]
+    ) -> float:
+        names = (set(left) | set(right))
+        cache = self._pair_cache
+        similarity = self.similarity
+        total = 0.0
+        counted = 0
+        for name in names:
+            if name.lower() in self.exclude:
+                continue
+            lv = left.get(name)
+            rv = right.get(name)
+            if lv is None or rv is None:
+                continue
+            score = cache.get((lv, rv))
+            if score is None:
+                score = similarity(str(lv).lower(), str(rv).lower())
+                # Store both orientations: similarity is symmetric and
+                # skipping the ordering step is cheaper than one repr().
+                cache[(lv, rv)] = score
+                cache[(rv, lv)] = score
+            total += score
+            counted += 1
+        if counted == 0:
+            return 0.0
+        return total / counted
+
+    def _token_similarity(
+        self, left: Mapping[str, Any], right: Mapping[str, Any]
+    ) -> float:
+        cache = self._token_cache
+
+        def tokens(profile: Mapping[str, Any]) -> set:
+            collected: set = set()
+            for name, value in profile.items():
+                if name.lower() in self.exclude or value is None:
+                    continue
+                cached = cache.get(value)
+                if cached is None:
+                    cached = frozenset(tokenize_value(value))
+                    cache[value] = cached
+                collected.update(cached)
+            return collected
+
+        left_tokens = tokens(left)
+        right_tokens = tokens(right)
+        if not left_tokens or not right_tokens:
+            return 0.0
+        return jaccard(left_tokens, right_tokens)
+
+    def matches(self, left: Mapping[str, Any], right: Mapping[str, Any]) -> bool:
+        """Whether the two profiles are duplicates under the threshold."""
+        return self.profile_similarity(left, right) >= self.threshold

@@ -1,0 +1,154 @@
+"""String similarity functions used by Comparison-Execution.
+
+All functions return a similarity in ``[0, 1]`` (1 = identical) and are
+symmetric in their arguments.  The paper's default resolution function is
+Jaro-Winkler (§9.1); the others back schema-based alternatives and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Edit distance (insert/delete/substitute) between *a* and *b*."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string in the inner loop for the O(min) row.
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """``1 - levenshtein / max_len``; 1.0 for two empty strings."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity: transposition-aware common-character overlap."""
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    window = max(len_a, len_b) // 2 - 1
+    if window < 0:
+        window = 0
+    matched_a = [False] * len_a
+    matched_b = [False] * len_b
+    matches = 0
+    for i, ch in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(i + window + 1, len_b)
+        for j in range(lo, hi):
+            if not matched_b[j] and b[j] == ch:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len_a):
+        if matched_a[i]:
+            while not matched_b[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    m = float(matches)
+    return (m / len_a + m / len_b + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
+    """Jaro-Winkler: Jaro boosted by the length of the common prefix.
+
+    ``prefix_scale`` must lie in ``[0, 0.25]`` so the result stays ≤ 1.
+    """
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must be within [0, 0.25]")
+    base = jaro(a, b)
+    prefix = 0
+    for ca, cb in zip(a[:max_prefix], b[:max_prefix]):
+        if ca != cb:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def jaccard(a: Iterable, b: Iterable) -> float:
+    """Jaccard coefficient of two element collections (as sets)."""
+    set_a: Set = set(a)
+    set_b: Set = set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    if union == 0:
+        return 1.0
+    return len(set_a & set_b) / union
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard over whitespace-delimited lowercase tokens of two strings."""
+    return jaccard(a.lower().split(), b.lower().split())
+
+
+def dice(a: Iterable, b: Iterable) -> float:
+    """Sørensen-Dice coefficient of two element collections."""
+    set_a: Set = set(a)
+    set_b: Set = set(b)
+    if not set_a and not set_b:
+        return 1.0
+    total = len(set_a) + len(set_b)
+    if total == 0:
+        return 1.0
+    return 2.0 * len(set_a & set_b) / total
+
+
+def overlap_coefficient(a: Iterable, b: Iterable) -> float:
+    """Szymkiewicz–Simpson overlap: |∩| / min(|A|, |B|).
+
+    Useful for acronym-vs-full-name venue matching where one side's
+    token set is (nearly) contained in the other's.
+    """
+    set_a: Set = set(a)
+    set_b: Set = set(b)
+    if not set_a or not set_b:
+        return 1.0 if not set_a and not set_b else 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def monge_elkan(a: str, b: str, inner=None) -> float:
+    """Monge-Elkan: mean best-match inner similarity over *a*'s tokens.
+
+    Asymmetric by definition; use ``(monge_elkan(a, b) + monge_elkan(b, a)) / 2``
+    for a symmetric score.  The inner similarity defaults to Jaro-Winkler.
+    """
+    inner = inner or jaro_winkler
+    tokens_a = a.lower().split()
+    tokens_b = b.lower().split()
+    if not tokens_a:
+        return 1.0 if not tokens_b else 0.0
+    if not tokens_b:
+        return 0.0
+    total = 0.0
+    for token_a in tokens_a:
+        total += max(inner(token_a, token_b) for token_b in tokens_b)
+    return total / len(tokens_a)

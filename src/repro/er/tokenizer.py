@@ -1,0 +1,56 @@
+"""Schema-agnostic token extraction for Token Blocking.
+
+Every token of every attribute value becomes a candidate blocking key
+(paper §6.1(i), following Papadakis et al. [23]).  Tokenization is
+deliberately simple and deterministic: lowercase, split on any
+non-alphanumeric character, drop tokens shorter than a minimum length and
+purely-numeric noise below a minimum length.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, List, Mapping, Set
+
+_TOKEN_SPLIT = re.compile(r"[^0-9a-z]+")
+
+#: Tokens shorter than this carry almost no discriminating power
+#: ("a", "of", initials) and would only inflate the oversized blocks that
+#: Block Purging removes anyway; dropping them here keeps the TBI small.
+MIN_TOKEN_LENGTH = 2
+
+
+def tokenize_value(value: Any, min_length: int = MIN_TOKEN_LENGTH) -> List[str]:
+    """Extract blocking tokens from one attribute value.
+
+    ``None`` yields no tokens.  Non-strings are stringified first so
+    numeric attributes still participate in schema-agnostic blocking.
+    """
+    if value is None:
+        return []
+    text = str(value).lower()
+    return [tok for tok in _TOKEN_SPLIT.split(text) if len(tok) >= min_length]
+
+
+def tokenize_entity(
+    attributes: Mapping[str, Any],
+    exclude: Iterable[str] = (),
+    min_length: int = MIN_TOKEN_LENGTH,
+) -> Set[str]:
+    """Distinct tokens across all attribute values of one entity.
+
+    Parameters
+    ----------
+    attributes:
+        Column name → value mapping of the entity.
+    exclude:
+        Attribute names to skip — the identifier column never contributes
+        blocking keys (its values are unique by definition).
+    """
+    skip = {name.lower() for name in exclude}
+    tokens: Set[str] = set()
+    for name, value in attributes.items():
+        if name.lower() in skip:
+            continue
+        tokens.update(tokenize_value(value, min_length=min_length))
+    return tokens

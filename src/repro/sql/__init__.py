@@ -1,0 +1,45 @@
+"""SQL substrate: lexer, parser, logical/physical plans, executor.
+
+Implements the flat SPJ dialect of the paper (§5): conjunctive and
+disjunctive WHERE clauses with ``col op constant`` and equi-join
+conditions, plus the ``SELECT DEDUP`` extension that triggers
+analysis-aware deduplication (§3).
+"""
+
+from repro.sql.lexer import Lexer, LexError
+from repro.sql.parser import Parser, ParseError, parse
+from repro.sql import ast
+from repro.sql.logical import (
+    Field,
+    PlanSchema,
+    LogicalPlan,
+    LogicalScan,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalLimit,
+    LogicalSort,
+)
+from repro.sql.planner import RelationalPlanner
+from repro.sql.executor import QueryResult, execute_plan
+
+__all__ = [
+    "Lexer",
+    "LexError",
+    "Parser",
+    "ParseError",
+    "parse",
+    "ast",
+    "Field",
+    "PlanSchema",
+    "LogicalPlan",
+    "LogicalScan",
+    "LogicalFilter",
+    "LogicalJoin",
+    "LogicalProject",
+    "LogicalLimit",
+    "LogicalSort",
+    "RelationalPlanner",
+    "QueryResult",
+    "execute_plan",
+]

@@ -1,0 +1,223 @@
+"""Aggregate functions for plain and dedupe-aware aggregation queries.
+
+The paper lists "other classes of queries (e.g. aggregation …)" as
+future work (§10); this module implements that extension.  Aggregates
+run in two places:
+
+* the relational path — a hash aggregation operator over raw rows;
+* the DEDUP path — aggregation over *grouped entities*, i.e. each
+  duplicate cluster counts once.  ``SELECT DEDUP COUNT(*) …`` therefore
+  answers "how many real-world entities match", not "how many dirty
+  records".
+
+Numeric aggregates over a fused value (``"12 | 15"``) average the
+distinct numeric components of the group representation — the natural
+reading of a contradicting cluster, and documented behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.result import GROUP_SEPARATOR
+from repro.sql import ast
+
+#: Function names treated as aggregates.
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def is_aggregate_call(expr: ast.Expr) -> bool:
+    """Whether *expr* is a call to an aggregate function."""
+    return isinstance(expr, ast.FunctionCall) and expr.name in AGGREGATE_NAMES
+
+
+def contains_aggregate(expr: ast.Expr) -> bool:
+    """Whether *expr* contains an aggregate call anywhere."""
+    if is_aggregate_call(expr):
+        return True
+    if isinstance(expr, ast.BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, ast.BooleanOp):
+        return any(contains_aggregate(o) for o in expr.operands)
+    if isinstance(expr, ast.NotOp):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, ast.FunctionCall):
+        return any(contains_aggregate(a) for a in expr.args)
+    return False
+
+
+def numeric_value(value: Any) -> Optional[float]:
+    """Best-effort numeric view of a (possibly fused) value.
+
+    ``None`` → None; numbers pass through; numeric strings parse; a
+    fused ``"a | b"`` value averages its distinct numeric components
+    (None when no component is numeric).
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value)
+    parts = text.split(GROUP_SEPARATOR) if GROUP_SEPARATOR in text else [text]
+    numbers: List[float] = []
+    for part in parts:
+        try:
+            numbers.append(float(part.strip()))
+        except ValueError:
+            continue
+    if not numbers:
+        return None
+    return sum(numbers) / len(numbers)
+
+
+class Accumulator:
+    """One aggregate's running state."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class CountAll(Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class CountValues(Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class Sum(Accumulator):
+    def __init__(self) -> None:
+        self.total: Optional[float] = None
+
+    def add(self, value: Any) -> None:
+        number = numeric_value(value)
+        if number is None:
+            return
+        self.total = number if self.total is None else self.total + number
+
+    def result(self) -> Optional[float]:
+        return self.total
+
+
+class Avg(Accumulator):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        number = numeric_value(value)
+        if number is None:
+            return
+        self.total += number
+        self.count += 1
+
+    def result(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class Extreme(Accumulator):
+    """MIN / MAX over numbers when possible, else lexicographic."""
+
+    def __init__(self, want_max: bool) -> None:
+        self.want_max = want_max
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        number = numeric_value(value)
+        candidate = number if number is not None else str(value)
+        if self.best is None:
+            self.best = candidate
+            return
+        try:
+            better = candidate > self.best if self.want_max else candidate < self.best
+        except TypeError:
+            candidate = str(candidate)
+            self.best = str(self.best)
+            better = candidate > self.best if self.want_max else candidate < self.best
+        if better:
+            self.best = candidate
+
+    def result(self) -> Any:
+        return self.best
+
+
+def make_accumulator(call: ast.FunctionCall) -> Accumulator:
+    """Fresh accumulator for one aggregate call."""
+    if call.name == "COUNT":
+        if len(call.args) == 1 and isinstance(call.args[0], ast.Star):
+            return CountAll()
+        return CountValues()
+    if call.name == "SUM":
+        return Sum()
+    if call.name == "AVG":
+        return Avg()
+    if call.name == "MIN":
+        return Extreme(want_max=False)
+    if call.name == "MAX":
+        return Extreme(want_max=True)
+    raise ValueError(f"{call.name} is not an aggregate")
+
+
+def aggregate_argument(call: ast.FunctionCall) -> Optional[ast.Expr]:
+    """The input expression of an aggregate (None for COUNT(*))."""
+    if not call.args:
+        raise ValueError(f"{call.name} requires an argument")
+    if len(call.args) != 1:
+        raise ValueError(f"{call.name} takes exactly one argument")
+    argument = call.args[0]
+    if isinstance(argument, ast.Star):
+        if call.name != "COUNT":
+            raise ValueError(f"{call.name}(*) is not valid SQL")
+        return None
+    return argument
+
+
+def run_aggregation(
+    rows: Sequence[tuple],
+    key_fns: Sequence[Callable[[tuple], Any]],
+    calls: Sequence[Tuple[ast.FunctionCall, Optional[Callable[[tuple], Any]]]],
+) -> List[Tuple[tuple, List[Any]]]:
+    """Hash aggregation: group *rows* by key_fns, fold each aggregate.
+
+    ``calls`` pairs each aggregate AST node with its compiled input
+    evaluator (None for COUNT(*)).  Returns ``(key, results)`` per group
+    in deterministic key order; a query with no GROUP BY produces the
+    single global group (even over zero rows, as SQL requires).
+    """
+    groups: dict = {}
+    for row in rows:
+        key = tuple(fn(row) for fn in key_fns)
+        state = groups.get(key)
+        if state is None:
+            state = [make_accumulator(call) for call, _ in calls]
+            groups[key] = state
+        for accumulator, (call, value_fn) in zip(state, calls):
+            accumulator.add(value_fn(row) if value_fn is not None else True)
+    if not key_fns and not groups:
+        groups[()] = [make_accumulator(call) for call, _ in calls]
+    ordered = sorted(groups.items(), key=lambda item: tuple(repr(v) for v in item[0]))
+    return [(key, [acc.result() for acc in state]) for key, state in ordered]

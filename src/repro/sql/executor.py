@@ -1,0 +1,80 @@
+"""Plan execution and the query result container."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sql.physical import ExecutionContext, PhysicalOperator
+
+
+class QueryResult:
+    """Materialized query output plus execution statistics.
+
+    ``columns`` are the projected output names; ``rows`` are value tuples.
+    ``comparisons`` and ``stage_times`` surface the ER instrumentation
+    that the paper reports (executed comparisons, TT breakdown).
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Sequence[tuple],
+        elapsed: float,
+        context: Optional[ExecutionContext] = None,
+        plan_description: str = "",
+    ):
+        self.columns = list(columns)
+        self.rows = list(rows)
+        self.elapsed = elapsed
+        self.comparisons = context.comparisons if context else 0
+        self.stage_times: Dict[str, float] = dict(context.stage_times) if context else {}
+        self.plan_description = plan_description
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as column-name → value mappings."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> List[Any]:
+        """All values of the named output column."""
+        try:
+            index = [c.lower() for c in self.columns].index(name.lower())
+        except ValueError:
+            raise KeyError(f"no output column {name!r}; have {self.columns}") from None
+        return [row[index] for row in self.rows]
+
+    def sorted_rows(self) -> List[tuple]:
+        """Rows in a deterministic order (for set-style result comparison)."""
+        return sorted(self.rows, key=lambda r: tuple(repr(v) for v in r))
+
+    def breakdown_percentages(self) -> Dict[str, float]:
+        """Per-stage share of total stage time (Table 6 layout)."""
+        total = sum(self.stage_times.values())
+        if total <= 0.0:
+            return {}
+        return {stage: 100.0 * seconds / total for stage, seconds in self.stage_times.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult({len(self.rows)} rows, {self.elapsed:.4f}s, "
+            f"{self.comparisons} comparisons)"
+        )
+
+
+def execute_plan(
+    plan: PhysicalOperator,
+    context: Optional[ExecutionContext] = None,
+) -> QueryResult:
+    """Run *plan* to completion and package the output."""
+    context = context or ExecutionContext()
+    start = time.perf_counter()
+    rows = list(plan.execute(context))
+    elapsed = time.perf_counter() - start
+    columns = [field.name for field in plan.schema]
+    return QueryResult(columns, rows, elapsed, context, plan.pretty())

@@ -1,0 +1,120 @@
+"""Hand-written SQL lexer.
+
+Produces a flat token stream; identifiers are case-preserved, keywords
+uppercased.  String literals use single quotes with ``''`` escaping
+(standard SQL); double-quoted identifiers are also accepted.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sql.tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenType
+
+
+class LexError(ValueError):
+    """Raised on malformed input with the offending position."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class Lexer:
+    """Single-pass tokenizer for the SPJ dialect."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+
+    def tokenize(self) -> List[Token]:
+        """Lex the entire input, appending a trailing EOF token."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._text):
+                tokens.append(Token(TokenType.EOF, None, self._pos))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals -----------------------------------------------------
+    def _skip_whitespace_and_comments(self) -> None:
+        text = self._text
+        while self._pos < len(text):
+            ch = text[self._pos]
+            if ch.isspace():
+                self._pos += 1
+            elif text.startswith("--", self._pos):
+                newline = text.find("\n", self._pos)
+                self._pos = len(text) if newline < 0 else newline + 1
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        text, start = self._text, self._pos
+        ch = text[start]
+        if ch == "'":
+            return self._string_literal(quote="'")
+        if ch == '"':
+            token = self._string_literal(quote='"')
+            return Token(TokenType.IDENTIFIER, token.value, token.position)
+        if ch.isdigit() or (ch == "." and start + 1 < len(text) and text[start + 1].isdigit()):
+            return self._number()
+        if ch.isalpha() or ch == "_":
+            return self._word()
+        for op in OPERATORS:
+            if text.startswith(op, start):
+                self._pos += len(op)
+                return Token(TokenType.OPERATOR, op, start)
+        if ch in PUNCTUATION:
+            self._pos += 1
+            return Token(TokenType.PUNCTUATION, ch, start)
+        raise LexError(f"unexpected character {ch!r}", start)
+
+    def _string_literal(self, quote: str) -> Token:
+        text, start = self._text, self._pos
+        self._pos += 1  # opening quote
+        pieces: List[str] = []
+        while self._pos < len(text):
+            ch = text[self._pos]
+            if ch == quote:
+                if text.startswith(quote * 2, self._pos):
+                    pieces.append(quote)
+                    self._pos += 2
+                    continue
+                self._pos += 1
+                return Token(TokenType.STRING, "".join(pieces), start)
+            pieces.append(ch)
+            self._pos += 1
+        raise LexError("unterminated string literal", start)
+
+    def _number(self) -> Token:
+        text, start = self._text, self._pos
+        seen_dot = False
+        while self._pos < len(text):
+            ch = text[self._pos]
+            if ch.isdigit():
+                self._pos += 1
+            elif ch == "." and not seen_dot:
+                seen_dot = True
+                self._pos += 1
+            else:
+                break
+        literal = text[start : self._pos]
+        value = float(literal) if seen_dot else int(literal)
+        return Token(TokenType.NUMBER, value, start)
+
+    def _word(self) -> Token:
+        text, start = self._text, self._pos
+        while self._pos < len(text) and (text[self._pos].isalnum() or text[self._pos] == "_"):
+            self._pos += 1
+        word = text[start : self._pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, start)
+        return Token(TokenType.IDENTIFIER, word, start)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convenience wrapper: lex *text* into a token list."""
+    return Lexer(text).tokenize()

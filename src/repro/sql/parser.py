@@ -1,0 +1,356 @@
+"""Recursive-descent parser for the SPJ dialect with ``SELECT DEDUP``.
+
+Grammar (informal):
+
+    query      := SELECT [DEDUP] [DISTINCT] select_list FROM table_ref
+                  (join_clause)* [WHERE expr] [ORDER BY order_list]
+                  [LIMIT number]
+    select_list:= '*' | item (',' item)*
+    item       := expr [AS ident]  |  ident '.' '*'
+    join_clause:= [INNER|LEFT|RIGHT] JOIN table_ref ON expr
+    expr       := or_expr ;  standard precedence OR < AND < NOT < cmp < add < mul
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.sql import ast
+from repro.sql.lexer import Lexer
+from repro.sql.tokens import Token, TokenType
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid queries."""
+
+    def __init__(self, message: str, token: Optional[Token] = None):
+        if token is not None:
+            message = f"{message} (near {token.value!r} at position {token.position})"
+        super().__init__(message)
+        self.token = token
+
+
+class Parser:
+    """Parses one SELECT statement into an :class:`ast.SelectQuery`."""
+
+    def __init__(self, text: str):
+        self._tokens = Lexer(text).tokenize()
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _accept_keyword(self, *names: str) -> Optional[Token]:
+        if self._peek().is_keyword(*names):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, name: str) -> Token:
+        token = self._advance()
+        if not (token.type is TokenType.KEYWORD and token.value == name):
+            raise ParseError(f"expected {name}", token)
+        return token
+
+    def _accept_punct(self, symbol: str) -> Optional[Token]:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.value == symbol:
+            return self._advance()
+        return None
+
+    def _expect_punct(self, symbol: str) -> Token:
+        token = self._advance()
+        if not (token.type is TokenType.PUNCTUATION and token.value == symbol):
+            raise ParseError(f"expected {symbol!r}", token)
+        return token
+
+    def _expect_identifier(self) -> Token:
+        token = self._advance()
+        if token.type is not TokenType.IDENTIFIER:
+            raise ParseError("expected identifier", token)
+        return token
+
+    # -- entry point -------------------------------------------------------
+    def parse(self) -> ast.SelectQuery:
+        """Parse the full statement, requiring EOF afterwards."""
+        query = self._select()
+        trailing = self._peek()
+        if trailing.type is not TokenType.EOF:
+            raise ParseError("unexpected trailing input", trailing)
+        return query
+
+    def _select(self) -> ast.SelectQuery:
+        self._expect_keyword("SELECT")
+        dedup = self._accept_keyword("DEDUP") is not None
+        distinct = self._accept_keyword("DISTINCT") is not None
+        items = self._select_list()
+        self._expect_keyword("FROM")
+        table = self._table_ref()
+        joins: List[ast.JoinClause] = []
+        while self._peek().is_keyword("JOIN", "INNER", "LEFT", "RIGHT"):
+            joins.append(self._join_clause())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._expression()
+        group_by: Tuple[ast.Expr, ...] = ()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            keys = [self._expression()]
+            while self._accept_punct(","):
+                keys.append(self._expression())
+            group_by = tuple(keys)
+        order_by: Tuple[ast.OrderItem, ...] = ()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._order_list()
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            token = self._advance()
+            if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+                raise ParseError("LIMIT requires an integer", token)
+            limit = token.value
+        return ast.SelectQuery(
+            items=tuple(items),
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+            dedup=dedup,
+            distinct=distinct,
+        )
+
+    # -- clauses -----------------------------------------------------------
+    def _select_list(self) -> List[ast.SelectItem]:
+        items = [self._select_item()]
+        while self._accept_punct(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> ast.SelectItem:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        # alias.* form
+        if (
+            token.type is TokenType.IDENTIFIER
+            and self._peek(1).type is TokenType.PUNCTUATION
+            and self._peek(1).value == "."
+            and self._peek(2).type is TokenType.OPERATOR
+            and self._peek(2).value == "*"
+        ):
+            qualifier = self._advance().value
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return ast.SelectItem(ast.Star(qualifier=qualifier))
+        expr = self._expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier().value
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.SelectItem(expr, alias=alias)
+
+    def _table_ref(self) -> ast.TableRef:
+        name = self._expect_identifier().value
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier().value
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.TableRef(name, alias)
+
+    def _join_clause(self) -> ast.JoinClause:
+        join_type = "INNER"
+        if self._accept_keyword("INNER"):
+            pass
+        elif self._accept_keyword("LEFT"):
+            join_type = "LEFT"
+            self._accept_keyword("OUTER")
+        elif self._accept_keyword("RIGHT"):
+            join_type = "RIGHT"
+            self._accept_keyword("OUTER")
+        self._expect_keyword("JOIN")
+        table = self._table_ref()
+        self._expect_keyword("ON")
+        condition = self._expression()
+        return ast.JoinClause(table=table, condition=condition, join_type=join_type)
+
+    def _order_list(self) -> Tuple[ast.OrderItem, ...]:
+        items = [self._order_item()]
+        while self._accept_punct(","):
+            items.append(self._order_item())
+        return tuple(items)
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self._expression()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return ast.OrderItem(expr, ascending)
+
+    # -- expressions ---------------------------------------------------------
+    def _expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        operands = [self._and_expr()]
+        while self._accept_keyword("OR"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.BooleanOp("OR", tuple(operands))
+
+    def _and_expr(self) -> ast.Expr:
+        operands = [self._not_expr()]
+        while self._accept_keyword("AND"):
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.BooleanOp("AND", tuple(operands))
+
+    def _not_expr(self) -> ast.Expr:
+        if self._accept_keyword("NOT"):
+            return ast.NotOp(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in ("=", "<>", "!=", "<", ">", "<=", ">="):
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            right = self._additive()
+            return ast.BinaryOp(op, left, right)
+        negated = False
+        if token.is_keyword("NOT"):
+            # NOT IN / NOT LIKE / NOT BETWEEN
+            nxt = self._peek(1)
+            if nxt.is_keyword("IN", "LIKE", "BETWEEN"):
+                self._advance()
+                negated = True
+                token = self._peek()
+        if token.is_keyword("IN"):
+            self._advance()
+            return self._in_list(left, negated)
+        if token.is_keyword("LIKE"):
+            self._advance()
+            pattern = self._advance()
+            if pattern.type is not TokenType.STRING:
+                raise ParseError("LIKE requires a string pattern", pattern)
+            return ast.Like(left, pattern.value, negated)
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._additive()
+            self._expect_keyword("AND")
+            high = self._additive()
+            return ast.Between(left, low, high, negated)
+        if token.is_keyword("IS"):
+            self._advance()
+            is_not = self._accept_keyword("NOT") is not None
+            self._expect_keyword("NULL")
+            return ast.IsNull(left, negated=is_not)
+        return left
+
+    def _in_list(self, operand: ast.Expr, negated: bool) -> ast.Expr:
+        self._expect_punct("(")
+        values: List[ast.Literal] = []
+        while True:
+            token = self._advance()
+            if token.type is TokenType.STRING or token.type is TokenType.NUMBER:
+                values.append(ast.Literal(token.value))
+            elif token.is_keyword("NULL"):
+                values.append(ast.Literal(None))
+            elif token.is_keyword("TRUE"):
+                values.append(ast.Literal(True))
+            elif token.is_keyword("FALSE"):
+                values.append(ast.Literal(False))
+            else:
+                raise ParseError("IN list accepts literals only", token)
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return ast.InList(operand, tuple(values), negated)
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-"):
+                op = self._advance().value
+                left = ast.BinaryOp(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/", "%"):
+                op = self._advance().value
+                left = ast.BinaryOp(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            operand = self._unary()
+            if isinstance(operand, ast.Literal) and isinstance(operand.value, (int, float)):
+                return ast.Literal(-operand.value)
+            return ast.BinaryOp("-", ast.Literal(0), operand)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._advance()
+        if token.type is TokenType.NUMBER or token.type is TokenType.STRING:
+            return ast.Literal(token.value)
+        if token.is_keyword("NULL"):
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            return ast.Literal(False)
+        if token.type is TokenType.PUNCTUATION and token.value == "(":
+            expr = self._expression()
+            self._expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENTIFIER:
+            # function call?
+            if self._peek().type is TokenType.PUNCTUATION and self._peek().value == "(":
+                self._advance()
+                args: List[ast.Expr] = []
+                # COUNT(*) — a bare star is valid only as a whole argument.
+                if self._peek().type is TokenType.OPERATOR and self._peek().value == "*":
+                    self._advance()
+                    args.append(ast.Star())
+                elif not (self._peek().type is TokenType.PUNCTUATION and self._peek().value == ")"):
+                    args.append(self._expression())
+                    while self._accept_punct(","):
+                        args.append(self._expression())
+                self._expect_punct(")")
+                return ast.FunctionCall(token.value.upper(), tuple(args))
+            # qualified column?
+            if self._accept_punct("."):
+                column = self._expect_identifier().value
+                return ast.ColumnRef(column, qualifier=token.value)
+            return ast.ColumnRef(token.value)
+        raise ParseError("expected expression", token)
+
+
+def parse(text: str) -> ast.SelectQuery:
+    """Parse *text* into a :class:`~repro.sql.ast.SelectQuery`."""
+    return Parser(text).parse()

@@ -1,0 +1,340 @@
+"""Relational (non-ER) query planning.
+
+Converts a parsed :class:`~repro.sql.ast.SelectQuery` into a logical plan
+with the standard heuristics the paper assumes as its starting point
+(§7.2.1: "the best non ER-enabled query plan ... is given"): filters are
+pushed to the scans they reference, joins are left-deep in FROM-clause
+order, projection sits at the root.  A second pass lowers the logical
+plan to volcano physical operators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sql import ast
+from repro.sql.expressions import (
+    compile_expression,
+    compile_predicate,
+    conjoin,
+    conjuncts,
+    referenced_bindings,
+)
+from repro.sql.logical import (
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    PlanSchema,
+)
+from repro.sql.physical import (
+    DistinctOp,
+    FilterOp,
+    HashJoinOp,
+    LimitOp,
+    NestedLoopJoinOp,
+    PhysicalOperator,
+    ProjectOp,
+    ScanOp,
+    SortOp,
+)
+from repro.storage.catalog import Catalog
+
+
+class PlanningError(ValueError):
+    """Raised when a query cannot be planned against the catalog."""
+
+
+def _equi_join_keys(condition: ast.Expr) -> Optional[Tuple[ast.ColumnRef, ast.ColumnRef]]:
+    """Extract the two column refs of a simple ``a.x = b.y`` condition."""
+    if (
+        isinstance(condition, ast.BinaryOp)
+        and condition.op == "="
+        and isinstance(condition.left, ast.ColumnRef)
+        and isinstance(condition.right, ast.ColumnRef)
+    ):
+        return condition.left, condition.right
+    return None
+
+
+class RelationalPlanner:
+    """AST → logical plan → physical plan against a table catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- logical planning -------------------------------------------------
+    def logical_plan(self, query: ast.SelectQuery) -> LogicalPlan:
+        """Build the pushed-down, left-deep logical plan for *query*."""
+        scans: Dict[str, LogicalPlan] = {}
+        order: List[str] = []
+        for ref in (query.table, *(j.table for j in query.joins)):
+            binding = ref.binding.lower()
+            if binding in scans:
+                raise PlanningError(f"duplicate table binding {ref.binding!r}")
+            scans[binding] = LogicalScan(self.catalog.get(ref.name), ref.binding)
+            order.append(binding)
+
+        # Partition WHERE conjuncts into per-binding filters and residuals.
+        residuals: List[ast.Expr] = []
+        per_binding: Dict[str, List[ast.Expr]] = {b: [] for b in scans}
+        for conjunct in conjuncts(query.where):
+            bindings = {q for q in referenced_bindings(conjunct)}
+            resolved = self._resolve_bindings(bindings, conjunct, scans, order)
+            if len(resolved) == 1:
+                per_binding[next(iter(resolved))].append(conjunct)
+            else:
+                residuals.append(conjunct)
+
+        for binding, exprs in per_binding.items():
+            condition = conjoin(exprs)
+            if condition is not None:
+                scans[binding] = LogicalFilter(scans[binding], condition)
+
+        plan = scans[order[0]]
+        for join in query.joins:
+            binding = join.table.binding.lower()
+            plan = LogicalJoin(plan, scans[binding], join.condition, join.join_type)
+
+        residual = conjoin(residuals)
+        if residual is not None:
+            plan = LogicalFilter(plan, residual)
+
+        if self._is_aggregation(query):
+            plan = self._aggregate(plan, query)
+        else:
+            plan = self._project(plan, query)
+        if query.distinct:
+            plan = LogicalDistinct(plan)
+        if query.order_by:
+            # ORDER BY refers to projected names; resolve after projection.
+            plan = LogicalSort(plan, [(o.expr, o.ascending) for o in query.order_by])
+        if query.limit is not None:
+            plan = LogicalLimit(plan, query.limit)
+        return plan
+
+    def _resolve_bindings(
+        self,
+        bindings: set,
+        conjunct: ast.Expr,
+        scans: Dict[str, LogicalPlan],
+        order: List[str],
+    ) -> set:
+        """Map referenced qualifiers (possibly '') to actual bindings."""
+        resolved = set()
+        for qualifier in bindings:
+            if qualifier == "":
+                # Unqualified column: find the unique binding providing it.
+                resolved.update(self._owners_of_unqualified(conjunct, scans, order))
+            elif qualifier in scans:
+                resolved.add(qualifier)
+            else:
+                raise PlanningError(f"unknown table alias {qualifier!r} in WHERE clause")
+        return resolved
+
+    def _owners_of_unqualified(
+        self, conjunct: ast.Expr, scans: Dict[str, LogicalPlan], order: List[str]
+    ) -> set:
+        owners = set()
+        for name in _unqualified_names(conjunct):
+            candidates = [b for b in order if self._binding_has_column(scans[b], name)]
+            if not candidates:
+                raise PlanningError(f"unknown column {name!r}")
+            if len(candidates) > 1:
+                raise PlanningError(f"ambiguous column {name!r}; qualify it")
+            owners.add(candidates[0])
+        return owners
+
+    @staticmethod
+    def _binding_has_column(plan: LogicalPlan, name: str) -> bool:
+        return any(f.name.lower() == name.lower() for f in plan.schema)
+
+    @staticmethod
+    def _is_aggregation(query: ast.SelectQuery) -> bool:
+        from repro.sql.aggregates import contains_aggregate
+
+        if query.group_by:
+            return True
+        return any(
+            not isinstance(item.expr, ast.Star) and contains_aggregate(item.expr)
+            for item in query.items
+        )
+
+    def _aggregate(self, plan: LogicalPlan, query: ast.SelectQuery) -> LogicalPlan:
+        from repro.sql.aggregates import is_aggregate_call
+
+        group_strings = [str(g).lower() for g in query.group_by]
+        items: List[Tuple[str, ast.Expr]] = []
+        for index, item in enumerate(query.items):
+            expr = item.expr
+            if isinstance(expr, ast.Star):
+                raise PlanningError("SELECT * cannot be combined with aggregation")
+            if is_aggregate_call(expr):
+                name = item.alias or expr.name.lower()
+            else:
+                if str(expr).lower() not in group_strings:
+                    raise PlanningError(
+                        f"{expr} must appear in GROUP BY or inside an aggregate"
+                    )
+                name = item.alias or _default_name(expr, index)
+            items.append((name, expr))
+        from repro.sql.logical import LogicalAggregate
+
+        return LogicalAggregate(plan, items, query.group_by)
+
+    def _project(self, plan: LogicalPlan, query: ast.SelectQuery) -> LogicalPlan:
+        items: List[Tuple[str, ast.Expr]] = []
+        for item in query.items:
+            if isinstance(item.expr, ast.Star):
+                qualifier = item.expr.qualifier
+                for field in plan.schema:
+                    if qualifier is None or field.qualifier.lower() == qualifier.lower():
+                        items.append((field.name, ast.ColumnRef(field.name, field.qualifier)))
+                if qualifier is not None and not any(
+                    f.qualifier.lower() == qualifier.lower() for f in plan.schema
+                ):
+                    raise PlanningError(f"unknown table alias {qualifier!r} in select list")
+            else:
+                name = item.alias or _default_name(item.expr, len(items))
+                items.append((name, item.expr))
+        return LogicalProject(plan, items)
+
+    # -- physical planning --------------------------------------------------
+    def physical_plan(self, plan: LogicalPlan) -> PhysicalOperator:
+        """Lower a logical plan to volcano operators."""
+        if isinstance(plan, LogicalScan):
+            rows = [row.values for row in plan.table]
+            return ScanOp(plan.schema, rows, plan.table.name, plan.binding)
+        if isinstance(plan, LogicalFilter):
+            child = self.physical_plan(plan.child)
+            predicate = compile_predicate(plan.condition, plan.child.schema)
+            return FilterOp(child, predicate, description=str(plan.condition))
+        if isinstance(plan, LogicalJoin):
+            return self._physical_join(plan)
+        if isinstance(plan, LogicalProject):
+            child = self.physical_plan(plan.child)
+            evaluators = [compile_expression(e, plan.child.schema) for _, e in plan.items]
+            return ProjectOp(child, plan.schema, evaluators)
+        if isinstance(plan, LogicalSort):
+            child = self.physical_plan(plan.child)
+            keys = [
+                (compile_expression(expr, plan.child.schema), ascending)
+                for expr, ascending in plan.keys
+            ]
+            return SortOp(child, keys)
+        if isinstance(plan, LogicalLimit):
+            return LimitOp(self.physical_plan(plan.child), plan.count)
+        if isinstance(plan, LogicalDistinct):
+            return DistinctOp(self.physical_plan(plan.child))
+        from repro.sql.logical import LogicalAggregate
+
+        if isinstance(plan, LogicalAggregate):
+            return self._physical_aggregate(plan)
+        raise PlanningError(f"cannot lower plan node {type(plan).__name__}")
+
+    def _physical_aggregate(self, plan) -> PhysicalOperator:
+        from repro.sql.aggregates import aggregate_argument, is_aggregate_call
+        from repro.sql.physical import HashAggregateOp
+
+        child = self.physical_plan(plan.child)
+        child_schema = plan.child.schema
+        key_fns = [compile_expression(g, child_schema) for g in plan.group_by]
+        group_strings = [str(g).lower() for g in plan.group_by]
+        calls = []
+        output_plan: List[Tuple[str, int]] = []
+        for name, expr in plan.items:
+            if is_aggregate_call(expr):
+                argument = aggregate_argument(expr)
+                value_fn = (
+                    compile_expression(argument, child_schema)
+                    if argument is not None
+                    else None
+                )
+                output_plan.append(("agg", len(calls)))
+                calls.append((expr, value_fn))
+            else:
+                output_plan.append(("key", group_strings.index(str(expr).lower())))
+        return HashAggregateOp(child, plan.schema, key_fns, calls, output_plan)
+
+    def _physical_join(self, plan: LogicalJoin) -> PhysicalOperator:
+        left = self.physical_plan(plan.left)
+        right = self.physical_plan(plan.right)
+        keys = _equi_join_keys(plan.condition)
+        if keys is not None:
+            left_key, right_key = self._orient_keys(plan, keys)
+            if left_key is not None and right_key is not None:
+                return HashJoinOp(
+                    left,
+                    right,
+                    left_key,
+                    right_key,
+                    description=str(plan.condition),
+                )
+        predicate = compile_predicate(plan.condition, plan.schema)
+        return NestedLoopJoinOp(left, right, predicate, description=str(plan.condition))
+
+    def _orient_keys(
+        self, plan: LogicalJoin, keys: Tuple[ast.ColumnRef, ast.ColumnRef]
+    ) -> Tuple[Optional[Callable], Optional[Callable]]:
+        """Figure out which key column belongs to which join side."""
+        first, second = keys
+        for candidate in ((first, second), (second, first)):
+            left_ref, right_ref = candidate
+            try:
+                left_fn = compile_expression(left_ref, plan.left.schema)
+                right_fn = compile_expression(right_ref, plan.right.schema)
+                return _normalized_key(left_fn), _normalized_key(right_fn)
+            except Exception:
+                continue
+        return None, None
+
+
+def _normalized_key(fn: Callable) -> Callable:
+    """Case-fold string join keys so 'EDBT' joins with 'edbt'."""
+
+    def key(row: tuple):
+        value = fn(row)
+        if isinstance(value, str):
+            return value.lower()
+        return value
+
+    return key
+
+
+def _unqualified_names(expr: ast.Expr) -> List[str]:
+    names: List[str] = []
+
+    def walk(node: ast.Expr) -> None:
+        if isinstance(node, ast.ColumnRef):
+            if node.qualifier is None:
+                names.append(node.name)
+        elif isinstance(node, ast.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.BooleanOp):
+            for operand in node.operands:
+                walk(operand)
+        elif isinstance(node, ast.NotOp):
+            walk(node.operand)
+        elif isinstance(node, (ast.InList, ast.Like, ast.IsNull)):
+            walk(node.operand)
+        elif isinstance(node, ast.Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, ast.FunctionCall):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    return names
+
+
+def _default_name(expr: ast.Expr, index: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    return f"col{index}"

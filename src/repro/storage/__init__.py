@@ -1,0 +1,24 @@
+"""Storage substrate: schemas, in-memory tables, CSV I/O and a catalog.
+
+QueryER operates either over relational tables or raw data files (csv);
+this package provides both entry points.  Tables are immutable row stores
+with a declared :class:`~repro.storage.schema.Schema`; the
+:class:`~repro.storage.catalog.Catalog` names them for the SQL layer.
+"""
+
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import Row, Table
+from repro.storage.csv_io import read_csv, write_csv
+from repro.storage.catalog import Catalog, TableNotFoundError
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Row",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "Catalog",
+    "TableNotFoundError",
+]

@@ -1,0 +1,50 @@
+"""Named table registry used by the SQL layer to resolve FROM clauses."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.storage.table import Table
+
+
+class TableNotFoundError(KeyError):
+    """Raised when a query references a table the catalog does not hold."""
+
+
+class Catalog:
+    """A case-insensitive name → :class:`Table` mapping."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Add *table* under its own name.
+
+        Raises ``ValueError`` on a name collision unless *replace* is set.
+        """
+        key = table.name.lower()
+        if key in self._tables and not replace:
+            raise ValueError(f"table {table.name!r} already registered")
+        self._tables[key] = table
+
+    def unregister(self, name: str) -> None:
+        """Remove the table registered under *name* (no-op when absent)."""
+        self._tables.pop(name.lower(), None)
+
+    def get(self, name: str) -> Table:
+        """Resolve *name* to a table, raising :class:`TableNotFoundError`."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            known = sorted(self._tables)
+            raise TableNotFoundError(f"unknown table {name!r}; registered: {known}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def names(self) -> List[str]:
+        """Registered table names (original casing preserved)."""
+        return [t.name for t in self._tables.values()]

@@ -1,0 +1,68 @@
+"""CSV ingestion and export for entity collections.
+
+The paper's engine can be "directly used over raw data files (e.g. csv)";
+this module is that path.  Reading infers an all-string schema from the
+header unless an explicit :class:`~repro.storage.schema.Schema` is given.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+def read_csv(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    schema: Optional[Schema] = None,
+    id_column: Optional[str] = None,
+    delimiter: str = ",",
+) -> Table:
+    """Load a CSV file (with header row) into a :class:`Table`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    name:
+        Table name; defaults to the file stem.
+    schema:
+        Explicit schema; inferred (all STRING) from the header when omitted.
+    id_column:
+        Identifier column for schema inference; defaults to the first
+        header field.
+    """
+    path = Path(path)
+    table_name = name or path.stem
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV file (no header)") from None
+        if schema is None:
+            schema = Schema.of(*[h.strip() for h in header], id_column=id_column)
+        rows = []
+        for lineno, record in enumerate(reader, start=2):
+            if not record or all(field == "" for field in record):
+                continue
+            if len(record) != len(schema):
+                raise ValueError(
+                    f"{path}:{lineno}: expected {len(schema)} fields, got {len(record)}"
+                )
+            rows.append(record)
+    return Table(table_name, schema, rows)
+
+
+def write_csv(table: Table, path: Union[str, Path], delimiter: str = ",") -> None:
+    """Write *table* (header + rows) to *path*; None becomes ''."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.schema.names)
+        for row in table:
+            writer.writerow(["" if v is None else v for v in row.values])

@@ -1,0 +1,137 @@
+"""Relational schemas for entity collections.
+
+A :class:`Schema` is an ordered list of named, typed columns.  QueryER's
+entity collections carry no primary/foreign keys (paper §4), but every
+collection must expose an *identifier attribute* so entities can be
+referenced by the block and link indices; the schema records which column
+plays that role.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence
+
+
+class ColumnType(enum.Enum):
+    """Supported column value domains."""
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce *value* into this domain, mapping '' and None to None."""
+        if value is None or value == "":
+            return None
+        if self is ColumnType.STRING:
+            return str(value)
+        if self is ColumnType.INTEGER:
+            return int(value)
+        if self is ColumnType.FLOAT:
+            return float(value)
+        if self is ColumnType.BOOLEAN:
+            if isinstance(value, str):
+                return value.strip().lower() in ("1", "true", "t", "yes", "y")
+            return bool(value)
+        raise AssertionError(f"unhandled column type {self!r}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    type: ColumnType = ColumnType.STRING
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or unknown column lookups."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of columns plus the id-column designation.
+
+    Parameters
+    ----------
+    columns:
+        Ordered column definitions.  Names must be unique
+        (case-insensitively, since SQL identifiers are folded).
+    id_column:
+        Name of the column that uniquely identifies an entity
+        (``e_id`` in the paper).  Defaults to the first column.
+    """
+
+    columns: Sequence[Column]
+    id_column: Optional[str] = None
+    _index: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError("schema must contain at least one column")
+        index = {}
+        for pos, col in enumerate(self.columns):
+            key = col.name.lower()
+            if key in index:
+                raise SchemaError(f"duplicate column name {col.name!r}")
+            index[key] = pos
+        object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(self, "_index", index)
+        id_col = self.id_column if self.id_column is not None else self.columns[0].name
+        if id_col.lower() not in index:
+            raise SchemaError(f"id column {id_col!r} not in schema")
+        object.__setattr__(self, "id_column", self.columns[index[id_col.lower()]].name)
+
+    @classmethod
+    def of(cls, *names: str, id_column: Optional[str] = None) -> "Schema":
+        """Build an all-string schema from column names (common case)."""
+        return cls([Column(n) for n in names], id_column=id_column)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    @property
+    def names(self) -> List[str]:
+        """Column names in declaration order."""
+        return [c.name for c in self.columns]
+
+    @property
+    def id_position(self) -> int:
+        """Ordinal position of the identifier column."""
+        return self._index[self.id_column.lower()]
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position of column *name* (case-insensitive)."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}; have {self.names}") from None
+
+    def column(self, name: str) -> Column:
+        """Return the :class:`Column` named *name*."""
+        return self.columns[self.position(name)]
+
+    def coerce_row(self, values: Sequence[Any]) -> tuple:
+        """Coerce a raw value sequence into this schema's domains."""
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(values)} values, schema has {len(self.columns)} columns"
+            )
+        return tuple(col.type.coerce(v) for col, v in zip(self.columns, values))
+
+    def non_id_names(self) -> List[str]:
+        """Names of every column except the identifier."""
+        return [c.name for c in self.columns if c.name != self.id_column]

@@ -1,0 +1,187 @@
+"""In-memory row-store tables.
+
+A :class:`Table` is an immutable ordered collection of rows conforming to a
+:class:`~repro.storage.schema.Schema`.  It is the physical representation
+of the paper's *entity collection* E; the ER layer views the same rows as
+:class:`~repro.core.entity.Entity` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.storage.schema import Schema, SchemaError
+
+
+class Row:
+    """A single immutable row bound to its schema.
+
+    Supports access by position (``row[0]``) and by column name
+    (``row["title"]``, case-insensitive).
+    """
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: Schema, values: Sequence[Any]):
+        self._schema = schema
+        self._values = tuple(values)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def values(self) -> tuple:
+        return self._values
+
+    @property
+    def id(self) -> Any:
+        """Value of the schema's identifier column."""
+        return self._values[self._schema.id_position]
+
+    def __getitem__(self, key) -> Any:
+        if isinstance(key, int):
+            return self._values[key]
+        return self._values[self._schema.position(key)]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Column value by name, or *default* when the column is absent."""
+        if name not in self._schema:
+            return default
+        return self[name]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Materialize the row as a column-name → value mapping."""
+        return dict(zip(self._schema.names, self._values))
+
+    def replace(self, **updates: Any) -> "Row":
+        """Return a copy with the named columns replaced."""
+        values = list(self._values)
+        for name, value in updates.items():
+            values[self._schema.position(name)] = value
+        return Row(self._schema, values)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Row)
+            and self._values == other._values
+            and self._schema.names == other._schema.names
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{n}={v!r}" for n, v in zip(self._schema.names, self._values))
+        return f"Row({pairs})"
+
+
+class Table:
+    """An immutable, named, in-memory table.
+
+    Rows are coerced to the schema's column domains on construction.  The
+    identifier column must be unique across rows — entity ids key every
+    QueryER index.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Sequence[Any]] = (),
+        coerce: bool = True,
+    ):
+        if not name:
+            raise ValueError("table name must be non-empty")
+        self._name = name
+        self._schema = schema
+        built: List[Row] = []
+        seen_ids: Dict[Any, int] = {}
+        for raw in rows:
+            values = schema.coerce_row(raw) if coerce else tuple(raw)
+            row = Row(schema, values)
+            if row.id is None:
+                raise SchemaError(f"table {name!r}: row with null id: {row!r}")
+            if row.id in seen_ids:
+                raise SchemaError(f"table {name!r}: duplicate id {row.id!r}")
+            seen_ids[row.id] = len(built)
+            built.append(row)
+        self._rows = built
+        self._by_id = seen_ids
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def __contains__(self, entity_id: Any) -> bool:
+        return entity_id in self._by_id
+
+    @property
+    def ids(self) -> List[Any]:
+        """All entity ids in row order."""
+        return [r.id for r in self._rows]
+
+    def by_id(self, entity_id: Any) -> Row:
+        """Fetch the row whose identifier equals *entity_id*."""
+        try:
+            return self._rows[self._by_id[entity_id]]
+        except KeyError:
+            raise KeyError(f"table {self._name!r} has no row with id {entity_id!r}") from None
+
+    def get_by_id(self, entity_id: Any) -> Optional[Row]:
+        """Like :meth:`by_id` but returns ``None`` when absent."""
+        pos = self._by_id.get(entity_id)
+        return None if pos is None else self._rows[pos]
+
+    def select(self, predicate: Callable[[Row], bool], name: Optional[str] = None) -> "Table":
+        """Return a new table containing the rows satisfying *predicate*."""
+        out = Table(name or self._name, self._schema, (), coerce=False)
+        out._rows = [r for r in self._rows if predicate(r)]
+        out._by_id = {r.id: i for i, r in enumerate(out._rows)}
+        return out
+
+    def from_rows(self, rows: Iterable[Row], name: Optional[str] = None) -> "Table":
+        """Build a sibling table (same schema) from pre-built rows."""
+        out = Table(name or self._name, self._schema, (), coerce=False)
+        seen: Dict[Any, int] = {}
+        kept: List[Row] = []
+        for row in rows:
+            if row.id in seen:
+                continue
+            seen[row.id] = len(kept)
+            kept.append(row)
+        out._rows = kept
+        out._by_id = seen
+        return out
+
+    def sample(self, fraction: float, seed: int = 0) -> "Table":
+        """Deterministic pseudo-random sample of ~``fraction`` of the rows.
+
+        Used by the planner to eagerly clean a sample at load time for the
+        duplication-factor statistic (paper §7.2.1).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        import random
+
+        rng = random.Random(seed)
+        picked = [r for r in self._rows if rng.random() < fraction]
+        if not picked and self._rows:
+            picked = [self._rows[0]]
+        return self.from_rows(picked, name=f"{self._name}_sample")
+
+    def __repr__(self) -> str:
+        return f"Table({self._name!r}, {len(self)} rows, columns={self._schema.names})"

@@ -1,0 +1,69 @@
+"""Shared fixtures: the paper's motivating example and small dirty data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import generate_organizations, generate_people
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+@pytest.fixture(scope="session")
+def publications() -> Table:
+    """Table 1 of the paper (publications P), verbatim."""
+    return Table(
+        "P",
+        Schema.of("id", "title", "author", "venue", "year"),
+        [
+            ("P1", "Collective Entity Resolution", None, "EDBT", "2008"),
+            ("P2", "Collective E.R.", "Allan Blake",
+             "International Conference on Extending Database Technology", "2008"),
+            ("P3", "Entity Resolution on Big Data", "Jane Davids, John Doe", "ACM Sigmod", "2017"),
+            ("P4", "E.R on Big Data", "J. Davids, J. Doe", "Sigmod", None),
+            ("P5", "Entity Resolution on Big Data", "J. Davids, John Doe.", "Proc of ACM SIGMOD", "2017"),
+            ("P6", "E.R for consumer data", "Allan Blake, Lisa Davidson", "EDBT", "2015"),
+            ("P7", "Entity-Resolution for consumer data", "A. Blake, L. Davidson",
+             "International Conference on Extending Database Technology", None),
+            ("P8", "Entity-Resolution for consumer data", "Allan Blake , Davidson Lisa", "EDBT", "2015"),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def venues() -> Table:
+    """Table 2 of the paper (venues V), verbatim."""
+    return Table(
+        "V",
+        Schema.of("id", "title", "description", "rank", "frequency", "est"),
+        [
+            ("V1", "International Conference on Extending Database Technology",
+             "Extending Database Technology", "1", "annual", "1984"),
+            ("V2", "SIGMOD", "ACM SIGMOD Conference", "1", None, "1975"),
+            ("V3", "ACM SIGMOD", None, "1", "annual", "1975"),
+            ("V4", "EDBT", "International Conference on Extending Database Technology",
+             None, "yearly", None),
+            ("V5", "CIDR", "Conference on Innovative Data Systems Research", None, "biennial", "2002"),
+            ("V6", "Conference on Innovative Data Systems Research", None, "2", "biyearly", "2002"),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def small_people():
+    """A 300-row dirty people table with ground truth (deterministic)."""
+    return generate_people(300, seed=123)
+
+
+@pytest.fixture(scope="session")
+def small_orgs():
+    """A 120-row dirty organisations table with ground truth."""
+    return generate_organizations(120, seed=321)
+
+
+@pytest.fixture(scope="session")
+def people_with_orgs(small_orgs):
+    """People referencing org names, for SPJ tests."""
+    orgs, _ = small_orgs
+    names = [row["name"] for row in orgs]
+    return generate_people(300, organisations=names, seed=7)

@@ -1,0 +1,69 @@
+"""Property-based tests for the SQL parser (print/reparse fixpoint)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import ast
+from repro.sql.parser import parse
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s.upper() not in __import__("repro.sql.tokens", fromlist=["KEYWORDS"]).KEYWORDS
+)
+string_literals = st.text(alphabet="abc def'", max_size=10)
+numbers = st.integers(min_value=-999, max_value=999)
+
+
+@st.composite
+def conditions(draw, depth=0):
+    column = draw(identifiers)
+    kind = draw(st.integers(min_value=0, max_value=5 if depth < 2 else 3))
+    if kind == 0:
+        op = draw(st.sampled_from(["=", "<>", "<", ">", "<=", ">="]))
+        literal = ast.Literal(draw(st.one_of(string_literals, numbers)))
+        return ast.BinaryOp(op, ast.ColumnRef(column), literal)
+    if kind == 1:
+        values = tuple(
+            ast.Literal(v) for v in draw(st.lists(string_literals, min_size=1, max_size=3))
+        )
+        return ast.InList(ast.ColumnRef(column), values, draw(st.booleans()))
+    if kind == 2:
+        return ast.IsNull(ast.ColumnRef(column), draw(st.booleans()))
+    if kind == 3:
+        low, high = draw(numbers), draw(numbers)
+        return ast.Between(
+            ast.ColumnRef(column), ast.Literal(low), ast.Literal(high), draw(st.booleans())
+        )
+    op = draw(st.sampled_from(["AND", "OR"]))
+    left = draw(conditions(depth=depth + 1))
+    right = draw(conditions(depth=depth + 1))
+    return ast.BooleanOp(op, (left, right))
+
+
+@st.composite
+def queries(draw):
+    items = tuple(
+        ast.SelectItem(ast.ColumnRef(name))
+        for name in draw(st.lists(identifiers, min_size=1, max_size=3, unique=True))
+    )
+    table = ast.TableRef(draw(identifiers))
+    where = draw(st.one_of(st.none(), conditions()))
+    limit = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=99)))
+    return ast.SelectQuery(
+        items=items,
+        table=table,
+        where=where,
+        limit=limit,
+        dedup=draw(st.booleans()),
+    )
+
+
+class TestPrintParseFixpoint:
+    @settings(max_examples=200)
+    @given(queries())
+    def test_str_parse_roundtrip(self, query):
+        assert parse(str(query)) == query
+
+    @settings(max_examples=100)
+    @given(queries())
+    def test_printing_is_stable(self, query):
+        assert str(parse(str(query))) == str(query)

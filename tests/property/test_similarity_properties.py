@@ -1,0 +1,86 @@
+"""Property-based tests for the similarity functions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.er.similarity import (
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    normalized_levenshtein,
+)
+
+text = st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF), max_size=30)
+short_text = st.text(alphabet="abcdefg .", max_size=12)
+
+
+class TestLevenshteinProperties:
+    @given(text, text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(text)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(text, text)
+    def test_bounded_by_longer_string(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(text, text)
+    def test_lower_bound_length_difference(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+    @settings(max_examples=50)
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(text, text)
+    def test_normalized_in_unit_interval(self, a, b):
+        assert 0.0 <= normalized_levenshtein(a, b) <= 1.0
+
+
+class TestJaroProperties:
+    @given(text, text)
+    def test_symmetry(self, a, b):
+        assert jaro(a, b) == jaro(b, a)
+
+    @given(text, text)
+    def test_unit_interval(self, a, b):
+        assert 0.0 <= jaro(a, b) <= 1.0
+
+    @given(text)
+    def test_identity_is_one(self, a):
+        assert jaro(a, a) == 1.0
+
+    @given(text, text)
+    def test_winkler_dominates_jaro(self, a, b):
+        assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+
+    @given(text, text)
+    def test_winkler_unit_interval(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0 + 1e-12
+
+
+class TestJaccardProperties:
+    sets = st.frozensets(st.integers(min_value=0, max_value=20), max_size=10)
+
+    @given(sets, sets)
+    def test_symmetry(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+
+    @given(sets, sets)
+    def test_unit_interval(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(sets)
+    def test_identity(self, a):
+        assert jaccard(a, a) == 1.0
+
+    @given(sets, sets)
+    def test_subset_monotonicity(self, a, b):
+        union = a | b
+        if union:
+            assert jaccard(a, union) >= jaccard(a, b) - 1e-12

@@ -1,0 +1,176 @@
+"""Unit tests for the batch baseline and the bench substrate."""
+
+import pytest
+
+from repro.bench.datasets import BASE_SIZES, DatasetRegistry
+from repro.bench.harness import Measurement, fresh_engine, run_query
+from repro.bench.reporting import format_table
+from repro.bench.workload import (
+    SELECTIVITIES,
+    join_query,
+    q9_query,
+    range_queries,
+    sp_queries,
+)
+from repro.core.batch import batch_deduplicate
+from repro.core.indices import TableIndex
+from repro.er.meta_blocking import MetaBlockingConfig
+from repro.sql.parser import parse
+from repro.sql.physical import ExecutionContext
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+def dirty_table():
+    return Table(
+        "T",
+        Schema.of("id", "name", "city"),
+        [
+            ("r1", "jonathan smith", "berlin"),
+            ("r2", "jonathan smyth", "berlin"),
+            ("r3", "maria garcia", "athens"),
+            ("r4", "ulrich zimmer", "oslo"),
+        ],
+    )
+
+
+class TestBatchDeduplicate:
+    def test_finds_all_duplicates(self):
+        result = batch_deduplicate(
+            TableIndex(dirty_table()), meta_blocking=MetaBlockingConfig.none()
+        )
+        assert ("r1", "r2") in result.links
+        assert result.query_ids == set(dirty_table().ids)
+
+    def test_counts_comparisons(self):
+        context = ExecutionContext()
+        batch_deduplicate(
+            TableIndex(dirty_table()),
+            meta_blocking=MetaBlockingConfig.none(),
+            context=context,
+        )
+        assert context.comparisons > 0
+
+    def test_stage_times_recorded(self):
+        context = ExecutionContext()
+        batch_deduplicate(TableIndex(dirty_table()), context=context)
+        assert "resolution" in context.stage_times
+
+
+class TestWorkload:
+    def test_sp_queries_parse_and_range_selectivity(self):
+        for family in ("PPL", "OAGP", "OAP", "DSD"):
+            queries = sp_queries(family)
+            assert [q.qid for q in queries] == ["Q1", "Q2", "Q3", "Q4", "Q5"]
+            assert [q.selectivity for q in queries] == list(SELECTIVITIES)
+            for q in queries:
+                parsed = parse(q.sql)
+                assert parsed.dedup
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            sp_queries("NOPE")
+
+    def test_q9_uses_mod(self):
+        q = q9_query("PPL")
+        assert "MOD(id, 10) < 1" in q.sql
+        parse(q.sql)
+
+    def test_range_queries_overlap_and_grow(self):
+        queries = range_queries("OAGP", table_size=1000)
+        assert [q.qid for q in queries] == ["Q10", "Q11", "Q12", "Q13"]
+        uppers = [int(q.sql.rsplit("<= ", 1)[1]) for q in queries]
+        assert uppers == sorted(uppers)
+        for q in queries:
+            parse(q.sql)
+
+    def test_join_queries_parse(self):
+        for pair in ("PPL-OAO", "OAP-OAO", "OAGP-OAGV"):
+            q = join_query(pair, "Q6", 0.07)
+            parsed = parse(q.sql)
+            assert parsed.dedup and len(parsed.joins) == 1
+
+    def test_join_query_full_selectivity_has_no_where(self):
+        q = join_query("PPL-OAO", "Q7", 1.0)
+        assert "WHERE" not in q.sql
+
+
+class TestDatasetRegistry:
+    def test_caches_builds(self):
+        registry = DatasetRegistry(scale=0.05)
+        first = registry.table("OAO")
+        second = registry.table("OAO")
+        assert first is second
+
+    def test_all_paper_datasets_defined(self):
+        expected = {
+            "DSD", "OAO", "OAP", "OAGV",
+            "PPL200K", "PPL500K", "PPL1M", "PPL1.5M", "PPL2M",
+            "OAGP200K", "OAGP500K", "OAGP1M", "OAGP1.5M", "OAGP2M",
+        }
+        assert expected == set(BASE_SIZES)
+
+    def test_scaling_applies(self):
+        registry = DatasetRegistry(scale=0.1)
+        assert registry.size_of("PPL2M") == 200
+
+    def test_minimum_size_floor(self):
+        registry = DatasetRegistry(scale=0.0001)
+        assert registry.size_of("PPL200K") == 30
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            DatasetRegistry().get("XX")
+
+    def test_family_table_names(self):
+        registry = DatasetRegistry(scale=0.05)
+        assert registry.table("PPL200K").name == "PPL"
+        assert registry.table("OAGP200K").name == "OAGP"
+
+
+class TestHarness:
+    def test_run_query_measures(self):
+        registry = DatasetRegistry(scale=0.1)
+        engine = fresh_engine([registry.get("OAO")])
+        q = sp_queries("PPL")[0]  # reuse clause shape; run simple SQL instead
+        measurement = run_query(
+            engine, "Q1", "OAO", "SELECT DEDUP id, name FROM OAO", "aes"
+        )
+        assert isinstance(measurement, Measurement)
+        assert measurement.total_time > 0
+        assert measurement.rows > 0
+
+    def test_breakdown_percentages_sum_to_100(self):
+        m = Measurement("Q1", "D", "aes", 1.0, 10, 5, {"a": 0.25, "b": 0.75})
+        assert sum(m.breakdown_percentages().values()) == pytest.approx(100.0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bbbb", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_none_renders_dash(self):
+        text = format_table(["x"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+
+class TestRunSeries:
+    def test_query_mode_sweep(self):
+        from repro.bench.harness import run_series
+        from repro.bench.workload import WorkloadQuery
+
+        registry = DatasetRegistry(scale=0.1)
+        engine = fresh_engine([registry.get("OAO")])
+        queries = [
+            WorkloadQuery("Q1", "SELECT DEDUP id FROM OAO WHERE country = 'greece'", 0.1),
+            WorkloadQuery("Q2", "SELECT DEDUP id FROM OAO", 1.0),
+        ]
+        measurements = run_series(engine, "OAO", queries, ["aes", "batch"])
+        assert len(measurements) == 4
+        assert {(m.qid, m.mode) for m in measurements} == {
+            ("Q1", "aes"), ("Q1", "batch"), ("Q2", "aes"), ("Q2", "batch"),
+        }

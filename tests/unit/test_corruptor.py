@@ -1,0 +1,104 @@
+"""Unit tests for the febrl-style corruptor."""
+
+import random
+
+import pytest
+
+from repro.datagen.corruptor import Corruptor
+
+
+@pytest.fixture
+def corruptor():
+    return Corruptor(random.Random(99))
+
+
+RECORD = {
+    "id": "r1",
+    "name": "jonathan archibald smitherson",
+    "city": "melbourne",
+    "state": "vic",
+    "empty": None,
+}
+
+
+class TestCorruptRecord:
+    def test_protected_attributes_untouched(self, corruptor):
+        for _ in range(50):
+            dirty = corruptor.corrupt_record(RECORD, protected=("id", "state"))
+            assert dirty["id"] == "r1"
+            assert dirty["state"] == "vic"
+
+    def test_none_values_stay_none(self, corruptor):
+        dirty = corruptor.corrupt_record(RECORD, protected=("id",))
+        assert dirty["empty"] is None
+
+    def test_something_usually_changes(self, corruptor):
+        changed = 0
+        for _ in range(30):
+            dirty = corruptor.corrupt_record(RECORD, protected=("id", "state"))
+            if dirty != RECORD:
+                changed += 1
+        assert changed >= 25
+
+    def test_record_with_only_protected_attributes(self, corruptor):
+        record = {"id": "x"}
+        assert corruptor.corrupt_record(record, protected=("id",)) == record
+
+    def test_per_attribute_budget_respected(self):
+        # With max 1 mod per attribute and per record, at most one
+        # attribute may differ.
+        corruptor = Corruptor(random.Random(5), max_mods_per_attribute=1, max_mods_per_record=1)
+        for _ in range(30):
+            dirty = corruptor.corrupt_record(RECORD, protected=("id", "state"))
+            differing = [k for k in RECORD if dirty.get(k) != RECORD[k]]
+            assert len(differing) <= 1
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            Corruptor(random.Random(0), max_mods_per_attribute=0)
+        with pytest.raises(ValueError):
+            Corruptor(random.Random(0), max_mods_per_record=0)
+
+
+class TestCorruptValue:
+    def test_missing_rate_one_blanks_everything(self):
+        corruptor = Corruptor(random.Random(0), missing_rate=1.0)
+        assert corruptor.corrupt_value("anything") is None
+
+    def test_missing_rate_zero_never_blanks(self):
+        corruptor = Corruptor(random.Random(0), missing_rate=0.0)
+        for _ in range(50):
+            assert corruptor.corrupt_value("some value here") is not None
+
+    def test_deterministic_for_same_seed(self):
+        a = Corruptor(random.Random(7)).corrupt_value("hello world")
+        b = Corruptor(random.Random(7)).corrupt_value("hello world")
+        assert a == b
+
+
+class TestMutations:
+    def test_abbreviation(self, corruptor):
+        out = corruptor._abbreviate_token("jonathan smith")
+        assert "." in out
+
+    def test_transpose_preserves_characters(self, corruptor):
+        out = corruptor._typo_transpose("abcd")
+        assert sorted(out) == list("abcd")
+
+    def test_delete_shortens(self, corruptor):
+        assert len(corruptor._typo_delete("abcd")) == 3
+
+    def test_insert_lengthens(self, corruptor):
+        assert len(corruptor._typo_insert("abcd")) == 5
+
+    def test_token_swap_keeps_tokens(self, corruptor):
+        out = corruptor._swap_tokens("one two three")
+        assert sorted(out.split()) == ["one", "three", "two"]
+
+    def test_drop_token_removes_one(self, corruptor):
+        assert len(corruptor._drop_token("one two three").split()) == 2
+
+    def test_single_char_edge_cases(self, corruptor):
+        assert corruptor._typo_delete("a") == "a"
+        assert corruptor._typo_transpose("a") == "a"
+        assert corruptor._swap_tokens("single") == "single"

@@ -1,0 +1,94 @@
+"""Unit tests for CSV I/O and the catalog."""
+
+import pytest
+
+from repro.storage.catalog import Catalog, TableNotFoundError
+from repro.storage.csv_io import read_csv, write_csv
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        "people",
+        Schema.of("id", "name", "note"),
+        [("1", "ann", "likes, commas"), ("2", "bob", None), ("3", 'quo"te', "x")],
+    )
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_values(self, table, tmp_path):
+        path = tmp_path / "people.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert back.schema.names == ["id", "name", "note"]
+        assert [r.values for r in back] == [
+            ("1", "ann", "likes, commas"),
+            ("2", "bob", None),  # empty string reads back as None
+            ("3", 'quo"te', "x"),
+        ]
+
+    def test_table_name_defaults_to_stem(self, table, tmp_path):
+        path = tmp_path / "people.csv"
+        write_csv(table, path)
+        assert read_csv(path).name == "people"
+
+    def test_explicit_name_and_id_column(self, table, tmp_path):
+        path = tmp_path / "p.csv"
+        write_csv(table, path)
+        loaded = read_csv(path, name="P", id_column="id")
+        assert loaded.name == "P"
+        assert loaded.schema.id_column == "id"
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,name\n1,ann,extra\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("id,name\n1,ann\n\n2,bob\n")
+        assert len(read_csv(path)) == 2
+
+
+class TestCatalog:
+    def test_register_and_get(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        assert catalog.get("PEOPLE") is table
+
+    def test_duplicate_registration_rejected(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        with pytest.raises(ValueError):
+            catalog.register(table)
+
+    def test_replace_allows_overwrite(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        catalog.register(table, replace=True)
+        assert "people" in catalog
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(TableNotFoundError):
+            Catalog().get("nope")
+
+    def test_unregister_is_idempotent(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        catalog.unregister("people")
+        catalog.unregister("people")
+        assert "people" not in catalog
+
+    def test_names_preserve_casing(self):
+        catalog = Catalog()
+        catalog.register(Table("MyTable", Schema.of("id"), [("1",)]))
+        assert catalog.names() == ["MyTable"]

@@ -1,0 +1,146 @@
+"""Unit tests for dataset generators and ground truth."""
+
+import pytest
+
+from repro.datagen.ground_truth import GroundTruth
+from repro.datagen.organizations import generate_organizations, generate_projects
+from repro.datagen.people import generate_people, state_in_clause
+from repro.datagen.scholarly import generate_dsd, generate_oagp, generate_oagv
+from repro.datagen import freq_tables as ft
+
+
+class TestGroundTruth:
+    def test_pairs_from_cluster(self):
+        truth = GroundTruth()
+        truth.add_original("a")
+        truth.add_duplicate("a", "b")
+        truth.add_duplicate("a", "c")
+        assert truth.pairs() == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_clusters_excludes_singletons(self):
+        truth = GroundTruth()
+        truth.add_original("solo")
+        truth.add_original("a")
+        truth.add_duplicate("a", "b")
+        assert truth.clusters() == [{"a", "b"}]
+
+    def test_pairs_within(self):
+        truth = GroundTruth()
+        truth.add_duplicate("a", "b")
+        truth.add_duplicate("x", "y")
+        assert truth.pairs_within({"a", "b", "x"}) == {("a", "b")}
+
+    def test_cluster_of_unknown(self):
+        assert GroundTruth().cluster_of("q") == {"q"}
+
+    def test_linkset_matches_pairs(self):
+        truth = GroundTruth()
+        truth.add_duplicate("a", "b")
+        assert set(truth.linkset()) == truth.pairs()
+
+
+class TestPeopleGenerator:
+    def test_exact_size(self):
+        table, _ = generate_people(120, seed=1)
+        assert len(table) == 120
+
+    def test_duplicate_fraction(self):
+        table, truth = generate_people(500, duplicate_fraction=0.4, seed=2)
+        duplicate_rows = sum(len(c) - 1 for c in truth.clusters())
+        assert duplicate_rows == pytest.approx(200, abs=5)
+
+    def test_max_duplicates_per_record(self):
+        _, truth = generate_people(400, max_duplicates_per_record=3, seed=3)
+        assert all(len(c) <= 4 for c in truth.clusters())
+
+    def test_deterministic(self):
+        a, _ = generate_people(50, seed=9)
+        b, _ = generate_people(50, seed=9)
+        assert [r.values for r in a] == [r.values for r in b]
+
+    def test_ids_are_integers(self):
+        table, _ = generate_people(10, seed=0)
+        assert all(isinstance(r.id, int) for r in table)
+
+    def test_protected_attributes_preserved_in_duplicates(self):
+        table, truth = generate_people(300, seed=4)
+        for cluster in truth.clusters():
+            states = {table.by_id(e)["state"] for e in cluster}
+            assert len(states) == 1
+
+    def test_organisation_assignment(self):
+        table, _ = generate_people(50, organisations=["org a", "org b"], seed=5)
+        assert all(r["organisation"] in ("org a", "org b") for r in table)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_people(0)
+        with pytest.raises(ValueError):
+            generate_people(10, duplicate_fraction=1.0)
+
+    def test_state_in_clause_selectivity(self):
+        table, _ = generate_people(2000, seed=6)
+        clause = state_in_clause(0.2)
+        states = {s.strip("' ") for s in clause.split("(")[1].rstrip(")").split(",")}
+        fraction = sum(1 for r in table if r["state"] in states) / len(table)
+        assert fraction == pytest.approx(0.2, abs=0.06)
+
+    def test_state_in_clause_validation(self):
+        with pytest.raises(ValueError):
+            state_in_clause(0.0)
+
+
+class TestOrganizationGenerators:
+    def test_org_duplicate_rate(self):
+        _, truth = generate_organizations(400, seed=7)
+        duplicate_rows = sum(len(c) - 1 for c in truth.clusters())
+        assert duplicate_rows == pytest.approx(40, abs=3)
+
+    def test_projects_join_fraction(self):
+        oao, _ = generate_organizations(100, seed=8)
+        names = [r["name"] for r in oao]
+        oap, _ = generate_projects(300, organisations=names, join_fraction=0.8, seed=9)
+        joined = sum(1 for r in oap if r["organisation"] in set(names))
+        assert joined / len(oap) == pytest.approx(0.8, abs=0.1)
+
+    def test_projects_require_organisations(self):
+        with pytest.raises(ValueError):
+            generate_projects(10, organisations=[])
+
+    def test_schemas(self):
+        oao, _ = generate_organizations(10, seed=1)
+        assert len(oao.schema) == 4  # id + 3 attributes (Table 7: |A|=3)
+        oap, _ = generate_projects(10, organisations=["x"], seed=1)
+        assert len(oap.schema) == 9  # id + 8 attributes (Table 7: |A|=8)
+
+
+class TestScholarlyGenerators:
+    def test_dsd_has_cross_source_duplicates(self):
+        table, truth = generate_dsd(200, seed=10)
+        assert len(table) == 200
+        assert truth.duplicate_count > 20
+        # Duplicate records use the full venue spelling.
+        cluster = max(truth.clusters(), key=len)
+        venues = {table.by_id(e)["venue"] for e in cluster}
+        assert len(venues) == 2
+
+    def test_oagv_titles_unique(self):
+        table, _ = generate_oagv(130, seed=11)
+        titles = [r["title"] for r in table]
+        assert len(titles) == len(set(titles))
+
+    def test_oagp_schema_width(self):
+        table, _ = generate_oagp(50, seed=12)
+        assert len(table.schema) == 19  # id + 18 attributes (Table 7: |A|=18)
+
+    def test_oagp_join_fraction(self):
+        oagv, _ = generate_oagv(130, seed=13)
+        titles = [r["title"] for r in oagv]
+        oagp, _ = generate_oagp(400, venue_titles=titles, join_fraction=0.5, seed=14)
+        joined = sum(1 for r in oagp if r["venue"] in set(titles))
+        assert joined / len(oagp) == pytest.approx(0.5, abs=0.1)
+
+    def test_field_weights_sum_to_one(self):
+        assert sum(w for _, w in ft.FIELD_WEIGHTS) == pytest.approx(1.0)
+        assert sum(w for _, w in ft.STATE_WEIGHTS) == pytest.approx(1.0)
+        assert sum(w for _, w in ft.FUNDER_WEIGHTS) == pytest.approx(1.0)

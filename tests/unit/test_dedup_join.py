@@ -1,0 +1,124 @@
+"""Unit tests for the Deduplicate-Join operator (§6.2, Algs. 1–2)."""
+
+import pytest
+
+from repro.core.dedup_join import DeduplicateJoinOperator, JoinType
+from repro.core.dedup_operator import DeduplicateOperator
+from repro.core.indices import TableIndex
+from repro.core.result import DedupResult
+from repro.er.linkset import LinkSet
+from repro.er.meta_blocking import MetaBlockingConfig
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+def papers():
+    return Table(
+        "P",
+        Schema.of("id", "title", "venue"),
+        [
+            ("p1", "paper one about things", "edbt"),
+            ("p2", "paper one about things!", "extending database tech"),
+            ("p3", "unrelated work", "sigmod"),
+        ],
+    )
+
+
+def venues():
+    return Table(
+        "V",
+        Schema.of("id", "name", "rank"),
+        [
+            ("v1", "edbt", None),
+            ("v2", "extending database tech", "1"),
+            ("v3", "sigmod", "1"),
+            ("v4", "unjoined venue", "2"),
+        ],
+    )
+
+
+@pytest.fixture
+def join_operator():
+    indices = {
+        "P": TableIndex(papers()),
+        "V": TableIndex(venues()),
+    }
+
+    def factory(table):
+        return DeduplicateOperator(
+            indices[table.name], meta_blocking=MetaBlockingConfig.none()
+        )
+
+    return DeduplicateJoinOperator(papers(), venues(), "venue", "name", factory)
+
+
+def left_clean():
+    """p1 resolved with duplicate p2 (different venue spellings)."""
+    return DedupResult(papers(), {"p1"}, {"p2"}, LinkSet([("p1", "p2")]))
+
+
+class TestDirtyRight:
+    def test_reduces_then_joins(self, join_operator):
+        result = join_operator.execute(JoinType.DIRTY_RIGHT, left_clean(), {"v1", "v2", "v3", "v4"})
+        joined_ids = {(l.id, r.id) for l, r in result.rows}
+        # p1/p2 join v1/v2 via both venue spellings; v3/v4 discarded.
+        assert joined_ids == {("p1", "v1"), ("p1", "v2"), ("p2", "v1"), ("p2", "v2")}
+
+    def test_right_side_was_deduplicated(self, join_operator):
+        result = join_operator.execute(JoinType.DIRTY_RIGHT, left_clean(), {"v1", "v2", "v3", "v4"})
+        assert {"v1", "v2"} <= result.right.entity_ids
+        assert "v4" not in result.right.entity_ids
+
+    def test_value_tuples_concatenate_sides(self, join_operator):
+        result = join_operator.execute(JoinType.DIRTY_RIGHT, left_clean(), {"v1"})
+        assert all(len(t) == 6 for t in result.value_tuples())
+
+
+class TestDirtyLeft:
+    def test_mirrors_dirty_right(self, join_operator):
+        right = DedupResult(venues(), {"v1"}, {"v2"}, LinkSet([("v1", "v2")]))
+        result = join_operator.execute(JoinType.DIRTY_LEFT, {"p1", "p2", "p3"}, right)
+        joined_ids = {(l.id, r.id) for l, r in result.rows}
+        assert joined_ids == {("p1", "v1"), ("p1", "v2"), ("p2", "v1"), ("p2", "v2")}
+
+
+class TestCleanBoth:
+    def test_cluster_cartesian_product(self, join_operator):
+        left = left_clean()
+        right = DedupResult(venues(), {"v1", "v2"}, links=LinkSet([("v1", "v2")]))
+        result = join_operator.execute(JoinType.CLEAN_BOTH, left, right)
+        assert len(result.rows) == 4  # {p1,p2} × {v1,v2}
+
+    def test_cluster_joins_when_any_member_joins(self, join_operator):
+        # Only p1's venue value ('edbt') matches v1; p2 joins via cluster.
+        left = left_clean()
+        right = DedupResult(venues(), {"v1"}, links=LinkSet())
+        result = join_operator.execute(JoinType.CLEAN_BOTH, left, right)
+        joined_ids = {(l.id, r.id) for l, r in result.rows}
+        assert joined_ids == {("p1", "v1"), ("p2", "v1")}
+
+    def test_no_join_yields_empty(self, join_operator):
+        left = DedupResult(papers(), {"p3"}, links=LinkSet())
+        right = DedupResult(venues(), {"v4"}, links=LinkSet())
+        result = join_operator.execute(JoinType.CLEAN_BOTH, left, right)
+        assert len(result) == 0
+
+    def test_null_join_values_ignored(self):
+        t1 = Table("A", Schema.of("id", "k"), [("a1", None)])
+        t2 = Table("B", Schema.of("id", "k"), [("b1", None)])
+        op = DeduplicateJoinOperator(t1, t2, "k", "k", lambda t: None)
+        result = op.join_operation(
+            DedupResult(t1, {"a1"}), DedupResult(t2, {"b1"})
+        )
+        assert result == []
+
+    def test_case_insensitive_join(self):
+        t1 = Table("A", Schema.of("id", "k"), [("a1", "EDBT")])
+        t2 = Table("B", Schema.of("id", "k"), [("b1", "edbt")])
+        op = DeduplicateJoinOperator(t1, t2, "k", "k", lambda t: None)
+        result = op.join_operation(DedupResult(t1, {"a1"}), DedupResult(t2, {"b1"}))
+        assert len(result) == 1
+
+    def test_unknown_join_type_rejected(self, join_operator):
+        with pytest.raises(ValueError):
+            join_operator.execute("bogus", left_clean(), set())

@@ -1,0 +1,174 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.lexer import LexError, tokenize
+from repro.sql.parser import ParseError, parse
+from repro.sql.tokens import TokenType
+
+
+class TestLexer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select from where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_case_preserved(self):
+        tokens = tokenize("MyTable")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "MyTable"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 3.14
+
+    def test_multi_char_operators(self):
+        tokens = tokenize("a <> b <= c >= d")
+        ops = [t.value for t in tokens if t.type is TokenType.OPERATOR]
+        assert ops == ["<>", "<=", ">="]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select -- comment\n1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", 1]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("select @")
+
+    def test_dedup_is_a_keyword(self):
+        assert tokenize("DEDUP")[0].type is TokenType.KEYWORD
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        q = parse("SELECT a, b FROM t")
+        assert [i.expr.name for i in q.items] == ["a", "b"]
+        assert q.table.name == "t"
+        assert not q.dedup
+
+    def test_dedup_flag(self):
+        assert parse("SELECT DEDUP a FROM t").dedup
+
+    def test_distinct_flag(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_star(self):
+        q = parse("SELECT * FROM t")
+        assert isinstance(q.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        q = parse("SELECT p.* FROM pubs p")
+        assert q.items[0].expr.qualifier == "p"
+
+    def test_alias_with_and_without_as(self):
+        q = parse("SELECT a AS x, b y FROM t")
+        assert q.items[0].alias == "x"
+        assert q.items[1].alias == "y"
+
+    def test_table_alias(self):
+        q = parse("SELECT a FROM tbl AS t")
+        assert q.table.binding == "t"
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t LIMIT 1.5")
+
+    def test_order_by(self):
+        q = parse("SELECT a FROM t ORDER BY a DESC, b")
+        assert q.order_by[0].ascending is False
+        assert q.order_by[1].ascending is True
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t garbage extra")
+
+
+class TestParserJoins:
+    def test_inner_join(self):
+        q = parse("SELECT a FROM t JOIN u ON t.x = u.y")
+        assert len(q.joins) == 1
+        assert q.joins[0].join_type == "INNER"
+
+    def test_multiple_joins(self):
+        q = parse("SELECT a FROM t JOIN u ON t.x = u.y JOIN v ON u.z = v.w")
+        assert len(q.joins) == 2
+
+    def test_left_join(self):
+        q = parse("SELECT a FROM t LEFT OUTER JOIN u ON t.x = u.y")
+        assert q.joins[0].join_type == "LEFT"
+
+    def test_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t JOIN u")
+
+
+class TestParserExpressions:
+    def test_precedence_or_and(self):
+        q = parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+        assert isinstance(q.where, ast.BooleanOp)
+        assert q.where.op == "OR"
+
+    def test_parentheses_override(self):
+        q = parse("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3")
+        assert q.where.op == "AND"
+
+    def test_in_list(self):
+        q = parse("SELECT a FROM t WHERE s IN ('x', 'y')")
+        assert isinstance(q.where, ast.InList)
+        assert [v.value for v in q.where.values] == ["x", "y"]
+
+    def test_not_in(self):
+        q = parse("SELECT a FROM t WHERE s NOT IN ('x')")
+        assert q.where.negated
+
+    def test_like(self):
+        q = parse("SELECT a FROM t WHERE s LIKE '%data%'")
+        assert isinstance(q.where, ast.Like)
+
+    def test_between(self):
+        q = parse("SELECT a FROM t WHERE n BETWEEN 1 AND 5")
+        assert isinstance(q.where, ast.Between)
+
+    def test_is_null_and_is_not_null(self):
+        q = parse("SELECT a FROM t WHERE x IS NULL AND y IS NOT NULL")
+        first, second = q.where.operands
+        assert isinstance(first, ast.IsNull) and not first.negated
+        assert isinstance(second, ast.IsNull) and second.negated
+
+    def test_function_call(self):
+        q = parse("SELECT a FROM t WHERE MOD(id, 10) < 1")
+        cmp = q.where
+        assert isinstance(cmp.left, ast.FunctionCall)
+        assert cmp.left.name == "MOD"
+
+    def test_unary_minus_folds_literal(self):
+        q = parse("SELECT a FROM t WHERE x > -5")
+        assert q.where.right.value == -5
+
+    def test_bang_equals_normalized(self):
+        q = parse("SELECT a FROM t WHERE x != 1")
+        assert q.where.op == "<>"
+
+    def test_arithmetic_precedence(self):
+        q = parse("SELECT a FROM t WHERE x + 2 * 3 = 7")
+        plus = q.where.left
+        assert plus.op == "+"
+        assert plus.right.op == "*"
+
+    def test_string_roundtrip_through_str(self):
+        sql = "SELECT DEDUP a, b FROM t JOIN u ON t.x = u.y WHERE t.s IN ('p', 'q') LIMIT 3"
+        q1 = parse(sql)
+        q2 = parse(str(q1))
+        assert q1 == q2

@@ -1,0 +1,118 @@
+"""Unit tests for DedupResult, value merging and Group-Entities."""
+
+from repro.core.group_entities import ClusterResolver, group_joined_rows, group_single
+from repro.core.result import DedupResult, GROUP_SEPARATOR, group_cluster, merge_values
+from repro.er.linkset import LinkSet
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+def table():
+    return Table(
+        "T",
+        Schema.of("id", "title", "year"),
+        [
+            ("a", "Entity Resolution", "2008"),
+            ("b", "E.R.", "2008"),
+            ("c", "Other Paper", None),
+            ("d", "Other Paper", "2010"),
+        ],
+    )
+
+
+class TestMergeValues:
+    def test_single_value(self):
+        assert merge_values(["x"]) == "x"
+
+    def test_identical_values_collapse(self):
+        assert merge_values(["x", "x"]) == "x"
+
+    def test_distinct_values_concatenated_sorted(self):
+        assert merge_values(["b", "a"]) == "a" + GROUP_SEPARATOR + "b"
+
+    def test_nulls_replaced_by_existing(self):
+        assert merge_values([None, "x", None]) == "x"
+
+    def test_all_null_stays_null(self):
+        assert merge_values([None, None]) is None
+
+    def test_deterministic_under_reordering(self):
+        assert merge_values(["x", "y"]) == merge_values(["y", "x"])
+
+
+class TestDedupResult:
+    def test_entity_ids_union(self):
+        dr = DedupResult(table(), ["a"], ["b"], LinkSet([("a", "b")]))
+        assert dr.entity_ids == {"a", "b"}
+
+    def test_duplicates_never_overlap_query_ids(self):
+        dr = DedupResult(table(), ["a", "b"], ["b"], LinkSet())
+        assert dr.duplicate_ids == set()
+
+    def test_rows_in_table_order(self):
+        dr = DedupResult(table(), ["b", "a"])
+        assert [r.id for r in dr.rows()] == ["a", "b"]
+
+    def test_clusters_include_singletons(self):
+        dr = DedupResult(table(), ["a", "c"], ["b"], LinkSet([("a", "b")]))
+        clusters = dr.clusters()
+        assert {"a", "b"} in clusters and {"c"} in clusters
+
+    def test_links_outside_result_ignored_in_clusters(self):
+        dr = DedupResult(table(), ["a"], [], LinkSet([("c", "d")]))
+        assert dr.clusters() == [{"a"}]
+
+
+class TestGroupCluster:
+    def test_fuses_values(self):
+        grouped = group_cluster(table(), ["a", "b"])
+        assert grouped["title"] == "E.R." + GROUP_SEPARATOR + "Entity Resolution"
+        assert grouped["year"] == "2008"
+
+    def test_null_filled_from_member(self):
+        grouped = group_cluster(table(), ["c", "d"])
+        assert grouped["year"] == "2010"
+
+    def test_member_ids_sorted(self):
+        grouped = group_cluster(table(), ["d", "c"])
+        assert grouped.member_ids == ("c", "d")
+
+
+class TestGroupSingle:
+    def test_one_row_per_cluster(self):
+        dr = DedupResult(table(), ["a", "c"], ["b"], LinkSet([("a", "b")]))
+        groups = group_single(dr)
+        assert len(groups) == 2
+
+    def test_grouped_values(self):
+        dr = DedupResult(table(), ["a"], ["b"], LinkSet([("a", "b")]))
+        (group,) = group_single(dr)
+        assert GROUP_SEPARATOR in group["title"]
+        assert group["year"] == "2008"
+
+
+class TestClusterResolver:
+    def test_representative_is_canonical(self):
+        links = LinkSet([("b", "a"), ("b", "c")])
+        resolver = ClusterResolver(links, ["a", "b", "c", "x"])
+        assert resolver.representative("c") == resolver.representative("a")
+        assert resolver.representative("x") == "x"
+
+    def test_unknown_entity_maps_to_itself(self):
+        resolver = ClusterResolver(LinkSet(), [])
+        assert resolver.representative("q") == "q"
+
+
+class TestGroupJoinedRows:
+    def test_groups_by_cluster_key(self):
+        links = LinkSet([("a", "b")])
+        resolver = ClusterResolver(links, ["a", "b"])
+        rows = [("a", "x1"), ("b", "x2")]
+        grouped = group_joined_rows(rows, [0], [resolver], 2)
+        assert len(grouped) == 1
+        assert grouped[0][1] == "x1" + GROUP_SEPARATOR + "x2"
+
+    def test_identity_grouping_without_resolver(self):
+        rows = [("a", "x"), ("b", "y")]
+        grouped = group_joined_rows(rows, [-1], [None], 2)
+        assert len(grouped) == 2

@@ -1,0 +1,83 @@
+"""Unit tests for repro.storage.schema."""
+
+import pytest
+
+from repro.storage.schema import Column, ColumnType, Schema, SchemaError
+
+
+class TestColumnType:
+    def test_string_coercion(self):
+        assert ColumnType.STRING.coerce(42) == "42"
+
+    def test_integer_coercion(self):
+        assert ColumnType.INTEGER.coerce("17") == 17
+
+    def test_float_coercion(self):
+        assert ColumnType.FLOAT.coerce("2.5") == 2.5
+
+    def test_boolean_coercion_from_strings(self):
+        assert ColumnType.BOOLEAN.coerce("yes") is True
+        assert ColumnType.BOOLEAN.coerce("no") is False
+
+    def test_none_maps_to_none(self):
+        for ctype in ColumnType:
+            assert ctype.coerce(None) is None
+
+    def test_empty_string_maps_to_none(self):
+        assert ColumnType.INTEGER.coerce("") is None
+
+
+class TestSchema:
+    def test_of_builds_string_columns(self):
+        schema = Schema.of("id", "title")
+        assert schema.names == ["id", "title"]
+        assert all(c.type is ColumnType.STRING for c in schema)
+
+    def test_id_column_defaults_to_first(self):
+        assert Schema.of("id", "x").id_column == "id"
+
+    def test_explicit_id_column(self):
+        schema = Schema.of("a", "key", id_column="key")
+        assert schema.id_column == "key"
+        assert schema.id_position == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "A")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_unknown_id_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "b", id_column="c")
+
+    def test_position_is_case_insensitive(self):
+        schema = Schema.of("Id", "Title")
+        assert schema.position("title") == 1
+        assert schema.position("TITLE") == 1
+
+    def test_position_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").position("zz")
+
+    def test_contains(self):
+        schema = Schema.of("a", "b")
+        assert "B" in schema
+        assert "c" not in schema
+
+    def test_coerce_row_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "b").coerce_row(["only-one"])
+
+    def test_coerce_row_applies_types(self):
+        schema = Schema([Column("id", ColumnType.INTEGER), Column("name")])
+        assert schema.coerce_row(["3", "x"]) == (3, "x")
+
+    def test_non_id_names(self):
+        assert Schema.of("id", "a", "b").non_id_names() == ["a", "b"]
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("")

@@ -1,0 +1,86 @@
+"""Unit tests for repro.er.similarity."""
+
+import pytest
+
+from repro.er.similarity import (
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    normalized_levenshtein,
+    token_jaccard,
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("kitten", "kitten") == 0
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_empty_strings(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_symmetric(self):
+        assert levenshtein("flaw", "lawn") == levenshtein("lawn", "flaw")
+
+    def test_normalized_bounds(self):
+        assert normalized_levenshtein("", "") == 1.0
+        assert normalized_levenshtein("abc", "xyz") == 0.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value_martha_marhta(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444444, abs=1e-6)
+
+    def test_known_value_dixon_dicksonx(self):
+        assert jaro("dixon", "dicksonx") == pytest.approx(0.7666666, abs=1e-6)
+
+    def test_no_common_characters(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaro("", "abc") == 0.0
+
+
+class TestJaroWinkler:
+    def test_known_value_martha_marhta(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.9611111, abs=1e-6)
+
+    def test_prefix_boost_never_exceeds_one(self):
+        assert jaro_winkler("aaaa", "aaaa") == 1.0
+
+    def test_prefix_makes_it_at_least_jaro(self):
+        assert jaro_winkler("dwayne", "duane") >= jaro("dwayne", "duane")
+
+    def test_invalid_prefix_scale_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    def test_abbreviation_scores_high(self):
+        assert jaro_winkler("collective entity resolution", "collective e.r.") > 0.8
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard({1, 2}, [2, 1]) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard([], []) == 1.0
+
+    def test_partial_overlap(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_token_jaccard_case_insensitive(self):
+        assert token_jaccard("ACM SIGMOD", "acm sigmod") == 1.0
+
+    def test_token_jaccard_word_overlap(self):
+        assert token_jaccard("big data", "big deal") == pytest.approx(1 / 3)

@@ -1,0 +1,98 @@
+"""Unit tests for the additional similarity functions."""
+
+import pytest
+
+from repro.er.similarity import dice, jaro_winkler, monge_elkan, overlap_coefficient
+
+
+class TestDice:
+    def test_identical(self):
+        assert dice({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert dice({1}, {2}) == 0.0
+
+    def test_partial(self):
+        assert dice({1, 2, 3}, {2, 3, 4}) == pytest.approx(4 / 6)
+
+    def test_both_empty(self):
+        assert dice([], []) == 1.0
+
+    def test_dominates_jaccard(self):
+        from repro.er.similarity import jaccard
+
+        a, b = {1, 2, 3}, {3, 4}
+        assert dice(a, b) >= jaccard(a, b)
+
+
+class TestOverlapCoefficient:
+    def test_subset_scores_one(self):
+        assert overlap_coefficient({"extending", "database"},
+                                   {"international", "extending", "database", "technology"}) == 1.0
+
+    def test_disjoint(self):
+        assert overlap_coefficient({"a"}, {"b"}) == 0.0
+
+    def test_one_empty(self):
+        assert overlap_coefficient(set(), {"a"}) == 0.0
+
+    def test_both_empty(self):
+        assert overlap_coefficient([], []) == 1.0
+
+
+class TestMongeElkan:
+    def test_identical_strings(self):
+        assert monge_elkan("john smith", "john smith") == 1.0
+
+    def test_token_reorder_tolerant(self):
+        assert monge_elkan("smith john", "john smith") == 1.0
+
+    def test_abbreviated_tokens_score_high(self):
+        score = monge_elkan("j. smith", "john smith")
+        assert score > 0.7
+
+    def test_empty_cases(self):
+        assert monge_elkan("", "") == 1.0
+        assert monge_elkan("", "x") == 0.0
+        assert monge_elkan("x", "") == 0.0
+
+    def test_custom_inner_similarity(self):
+        exact = lambda a, b: 1.0 if a == b else 0.0
+        assert monge_elkan("aa bb", "aa cc", inner=exact) == 0.5
+
+    def test_bounded(self):
+        assert 0.0 <= monge_elkan("foo bar", "baz qux") <= 1.0
+
+    def test_default_inner_is_jaro_winkler(self):
+        assert monge_elkan("dwayne", "duane") == pytest.approx(jaro_winkler("dwayne", "duane"))
+
+
+class TestRobustness:
+    """Failure-injection: pathological values through the full matcher."""
+
+    def test_unicode_values(self):
+        from repro.er.matching import ProfileMatcher
+
+        m = ProfileMatcher()
+        a = {"name": "Γιώργος Αλεξίου", "city": "Αθήνα"}
+        assert m.profile_similarity(a, dict(a)) == 1.0
+
+    def test_very_long_values(self):
+        from repro.er.matching import ProfileMatcher
+
+        m = ProfileMatcher()
+        long_value = "token " * 500
+        sim = m.profile_similarity({"x": long_value}, {"x": long_value})
+        assert sim == 1.0
+
+    def test_empty_string_values(self):
+        from repro.er.matching import ProfileMatcher
+
+        m = ProfileMatcher()
+        assert 0.0 <= m.profile_similarity({"x": ""}, {"x": ""}) <= 1.0
+
+    def test_numeric_values_compare_as_strings(self):
+        from repro.er.matching import ProfileMatcher
+
+        m = ProfileMatcher()
+        assert m.profile_similarity({"x": 1234}, {"x": 1234}) == 1.0

@@ -1,0 +1,128 @@
+"""Unit tests for the planner statistics (§7.2.1)."""
+
+import pytest
+
+from repro.core.indices import TableIndex
+from repro.core.statistics import ComparisonEstimator, TableStatistics, join_percentage
+from repro.er.matching import ProfileMatcher
+from repro.sql.parser import parse
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+def table():
+    return Table(
+        "T",
+        Schema.of("id", "kind", "name"),
+        [
+            ("t1", "alpha", "john smith"),
+            ("t2", "alpha", "john smith"),
+            ("t3", "alpha", "mary brown"),
+            ("t4", "bravo", "kate jones"),
+            ("t5", "bravo", "kate jones"),
+            ("t6", "charlie", "solo person"),
+        ],
+    )
+
+
+def where(sql_condition: str):
+    return parse(f"SELECT id FROM T WHERE {sql_condition}").where
+
+
+@pytest.fixture
+def estimator():
+    return ComparisonEstimator(TableIndex(table()))
+
+
+class TestSelectedEntities:
+    def test_literal_maps_to_block_members(self, estimator):
+        assert estimator.selected_entities(where("kind = 'alpha'")) == {"t1", "t2", "t3"}
+
+    def test_and_intersects(self, estimator):
+        selected = estimator.selected_entities(where("kind = 'alpha' AND name = 'john smith'"))
+        assert selected == {"t1", "t2"}
+
+    def test_or_unions(self, estimator):
+        selected = estimator.selected_entities(where("kind = 'alpha' OR kind = 'bravo'"))
+        assert selected == {"t1", "t2", "t3", "t4", "t5"}
+
+    def test_in_list_unions_members(self, estimator):
+        selected = estimator.selected_entities(where("kind IN ('alpha', 'charlie')"))
+        assert selected == {"t1", "t2", "t3", "t6"}
+
+    def test_non_literal_condition_falls_back_to_all(self, estimator):
+        assert estimator.selected_entities(where("MOD(id, 10) < 1")) == set(table().ids)
+
+    def test_no_where_means_whole_table(self, estimator):
+        assert estimator.selected_entities(None) == set(table().ids)
+
+    def test_multi_token_literal_intersects_tokens(self, estimator):
+        selected = estimator.selected_entities(where("name = 'john smith'"))
+        assert selected == {"t1", "t2"}
+
+    def test_unknown_literal_selects_nothing(self, estimator):
+        assert estimator.selected_entities(where("kind = 'zzznope'")) == set()
+
+
+class TestComparisonEstimate:
+    def test_estimate_zero_for_empty_selection(self, estimator):
+        assert estimator.estimate(where("kind = 'zzznope'")) == 0
+
+    def test_more_selective_query_estimates_fewer_comparisons(self, estimator):
+        narrow = estimator.estimate(where("kind = 'charlie'"))
+        wide = estimator.estimate(None)
+        assert narrow <= wide
+
+    def test_estimate_nonnegative(self, estimator):
+        assert estimator.estimate(where("kind = 'alpha'")) >= 0
+
+    def test_resolved_entities_reduce_estimate(self):
+        index = TableIndex(table())
+        estimator = ComparisonEstimator(index)
+        before = estimator.estimate(where("kind = 'alpha'"))
+        index.link_index.mark_resolved(["t1", "t2", "t3"])
+        after = estimator.estimate(where("kind = 'alpha'"))
+        assert after <= before
+        assert after == 0
+
+
+class TestTableStatistics:
+    def test_duplication_factor_detects_duplicates(self):
+        index = TableIndex(table())
+        stats = TableStatistics(index, ProfileMatcher(exclude=("id",)), sample_fraction=1.0)
+        assert stats.duplication_factor > 0
+
+    def test_estimated_dr_size_scales(self):
+        index = TableIndex(table())
+        stats = TableStatistics(index, ProfileMatcher(exclude=("id",)), sample_fraction=1.0)
+        assert stats.estimated_dr_size(100) >= 100
+
+    def test_clean_sample_has_zero_factor(self):
+        clean = Table("C", Schema.of("id", "v"), [("1", "aa bb"), ("2", "zz qq")])
+        stats = TableStatistics(TableIndex(clean), ProfileMatcher(exclude=("id",)), sample_fraction=1.0)
+        assert stats.duplication_factor == 0.0
+
+
+class TestJoinPercentage:
+    def test_full_overlap(self):
+        left = TableIndex(Table("L", Schema.of("id", "k"), [("l1", "x"), ("l2", "y")]))
+        right = TableIndex(Table("R", Schema.of("id", "k"), [("r1", "x"), ("r2", "y")]))
+        assert join_percentage(left, right, "k", "k") == (1.0, 1.0)
+
+    def test_partial_overlap(self):
+        left = TableIndex(Table("L", Schema.of("id", "k"), [("l1", "x"), ("l2", "zz")]))
+        right = TableIndex(Table("R", Schema.of("id", "k"), [("r1", "x")]))
+        lp, rp = join_percentage(left, right, "k", "k")
+        assert lp == pytest.approx(0.5)
+        assert rp == pytest.approx(1.0)
+
+    def test_case_folding(self):
+        left = TableIndex(Table("L", Schema.of("id", "k"), [("l1", "EDBT")]))
+        right = TableIndex(Table("R", Schema.of("id", "k"), [("r1", "edbt")]))
+        assert join_percentage(left, right, "k", "k") == (1.0, 1.0)
+
+    def test_nulls_never_join(self):
+        left = TableIndex(Table("L", Schema.of("id", "k"), [("l1", None)]))
+        right = TableIndex(Table("R", Schema.of("id", "k"), [("r1", "x")]))
+        lp, rp = join_percentage(left, right, "k", "k")
+        assert lp == 0.0 and rp == 0.0
