@@ -18,6 +18,13 @@ Quickstart::
         "FROM P JOIN V ON P.venue = V.title WHERE P.venue = 'EDBT'")
     for row in result:
         print(row)
+
+Registered tables stay mutable: ``INSERT INTO`` appends records with
+delta-aware index maintenance instead of a rebuild (see
+:mod:`repro.incremental`)::
+
+    engine.execute(
+        "INSERT INTO P (id, title, venue) VALUES ('P9', 'Collective E R', 'EDBT')")
 """
 
 from repro.core import (
@@ -30,14 +37,17 @@ from repro.core import (
     batch_deduplicate,
 )
 from repro.er.meta_blocking import MetaBlockingConfig
+from repro.incremental import IngestResult, InvalidationPolicy
 from repro.storage import Catalog, Schema, Table, read_csv, write_csv
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "QueryEREngine",
     "ExecutionMode",
     "MetaBlockingConfig",
+    "IngestResult",
+    "InvalidationPolicy",
     "DeduplicateOperator",
     "DeduplicateJoinOperator",
     "JoinType",

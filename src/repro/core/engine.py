@@ -2,8 +2,9 @@
 
 Registers dirty entity collections, builds the per-table indices once
 (TBI, ITBI, LI) plus load-time statistics, parses incoming SQL, routes
-``SELECT DEDUP`` queries through the ER planner/executor and everything
-else through the plain relational path.
+``SELECT DEDUP`` queries through the ER planner/executor, ``INSERT
+INTO`` through the incremental ingestion subsystem, and everything else
+through the plain relational path.
 
 >>> engine = QueryEREngine()
 >>> engine.register(publications)
@@ -16,7 +17,7 @@ else through the plain relational path.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Iterable, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.core.dedup_operator import DeduplicateOperator
 from repro.core.indices import TableIndex
@@ -29,6 +30,8 @@ from repro.core.planner import (
 from repro.core.statistics import TableStatistics, join_percentage
 from repro.er.matching import DEFAULT_THRESHOLD, ProfileMatcher
 from repro.er.meta_blocking import MetaBlockingConfig
+from repro.incremental import DmlExecutor, IndexMaintainer, IngestResult, InvalidationPolicy
+from repro.sql import ast
 from repro.sql.executor import QueryResult, execute_plan
 from repro.sql.parser import parse
 from repro.sql.physical import ExecutionContext
@@ -55,6 +58,10 @@ class QueryEREngine:
     sample_stats:
         Eagerly clean a small sample at registration for the duplication
         factor statistic (§7.2.1); disable to skip that cost.
+    invalidation_policy:
+        How ``INSERT INTO`` revokes progressive-cleaning state: the
+        targeted per-cluster policy (default) or a full LI reset — see
+        :mod:`repro.incremental`.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class QueryEREngine:
         use_link_index: bool = True,
         transitive: bool = True,
         sample_stats: bool = True,
+        invalidation_policy: Union[InvalidationPolicy, str] = InvalidationPolicy.TARGETED,
     ):
         self.catalog = Catalog()
         self.meta_blocking = meta_blocking or MetaBlockingConfig.all()
@@ -77,13 +85,26 @@ class QueryEREngine:
         self._join_percentages: Dict[Tuple[str, str, str, str], Tuple[float, float]] = {}
         self._relational = RelationalPlanner(self.catalog)
         self._executor = DedupQueryExecutor(self)
+        if isinstance(invalidation_policy, str):
+            invalidation_policy = InvalidationPolicy(invalidation_policy)
+        self._maintainer = IndexMaintainer(self, policy=invalidation_policy)
+        self._dml = DmlExecutor(self)
 
     # -- registration -----------------------------------------------------
     def register(self, table: Table, replace: bool = False) -> TableIndex:
-        """Register *table*, building its TBI/ITBI/LI and statistics."""
+        """Register *table*, building its TBI/ITBI/LI and statistics.
+
+        With ``replace=True`` every per-table cached artefact of the
+        previous registration — statistics (including ones memoized
+        lazily under ``sample_stats=False``) and join percentages — is
+        purged; leaving them would hand the planner estimates computed
+        against the dead index.
+        """
         self.catalog.register(table, replace=replace)
         index = TableIndex(table)
         key = table.name.lower()
+        if replace:
+            self._purge_cached_state(key)
         self._indices[key] = index
         matcher = ProfileMatcher(
             threshold=self.match_threshold,
@@ -94,6 +115,35 @@ class QueryEREngine:
             self._statistics[key] = TableStatistics(index, matcher)
         return index
 
+    def _drop_join_percentages(self, key: str) -> None:
+        self._join_percentages = {
+            pair_key: value
+            for pair_key, value in self._join_percentages.items()
+            if key not in (pair_key[0], pair_key[1])
+        }
+
+    def _purge_cached_state(self, key: str) -> None:
+        """Drop every cached per-table artefact derived from *key*'s index."""
+        self._statistics.pop(key, None)
+        self._drop_join_percentages(key)
+
+    def note_appended(self, name: str, count: int) -> None:
+        """Invalidate estimates after *count* rows were ingested into *name*.
+
+        Called by the :class:`~repro.incremental.IndexMaintainer` as the
+        statistics-refresh step: the duplication-factor sample is flagged
+        stale (recomputed lazily by :meth:`statistics_of`) and cached
+        join percentages involving the table are dropped (recomputed
+        lazily by :meth:`join_percentage`).
+        """
+        if count <= 0:
+            return
+        key = name.lower()
+        statistics = self._statistics.get(key)
+        if statistics is not None:
+            statistics.mark_appended(count)
+        self._drop_join_percentages(key)
+
     def index_of(self, name: str) -> TableIndex:
         """The :class:`TableIndex` of a registered table."""
         try:
@@ -102,11 +152,13 @@ class QueryEREngine:
             raise KeyError(f"table {name!r} is not registered") from None
 
     def statistics_of(self, name: str) -> TableStatistics:
-        """Load-time statistics of a registered table."""
+        """Load-time statistics of a registered table (refreshed when stale)."""
         key = name.lower()
-        if key not in self._statistics:
-            self._statistics[key] = TableStatistics(self.index_of(key), self._matchers[key])
-        return self._statistics[key]
+        statistics = self._statistics.get(key)
+        if statistics is None or statistics.stale:
+            statistics = TableStatistics(self.index_of(key), self._matchers[key])
+            self._statistics[key] = statistics
+        return statistics
 
     def join_percentage(
         self, left: str, right: str, left_column: str, right_column: str
@@ -145,8 +197,22 @@ class QueryEREngine:
         """
         self.reset_link_indexes()
         for matcher in self._matchers.values():
-            matcher._token_cache.clear()
-            matcher._pair_cache.clear()
+            matcher.clear_cache()
+
+    # -- ingestion -------------------------------------------------------------
+    def insert(
+        self,
+        table_name: str,
+        rows: Iterable[Sequence[Any]],
+        columns: Optional[Sequence[str]] = None,
+    ) -> IngestResult:
+        """Append *rows* to a registered table with full index maintenance.
+
+        Programmatic twin of ``INSERT INTO``: storage append, delta TBI/
+        ITBI amendment, Link-Index invalidation and statistics refresh in
+        one atomic batch (see :mod:`repro.incremental`).
+        """
+        return self._maintainer.append(table_name, rows, columns=columns)
 
     # -- queries --------------------------------------------------------------
     def execute(
@@ -154,9 +220,12 @@ class QueryEREngine:
         sql: str,
         mode: Union[ExecutionMode, str] = ExecutionMode.AES,
     ) -> QueryResult:
-        """Parse and run *sql*; DEDUP queries go through the ER pipeline."""
+        """Parse and run *sql*; DEDUP queries go through the ER pipeline,
+        DML through the incremental ingestion subsystem."""
         mode = ExecutionMode(mode) if isinstance(mode, str) else mode
         query = parse(sql)
+        if isinstance(query, ast.InsertStatement):
+            return self._dml.execute(query)
         if not query.dedup:
             logical = self._relational.logical_plan(query)
             physical = self._relational.physical_plan(logical)
@@ -177,6 +246,8 @@ class QueryEREngine:
         """The plan that :meth:`execute` would run, as an indented tree."""
         mode = ExecutionMode(mode) if isinstance(mode, str) else mode
         query = parse(sql)
+        if isinstance(query, ast.InsertStatement):
+            return DmlExecutor.describe(query)
         if not query.dedup:
             return self._relational.logical_plan(query).pretty()
         planner = DedupQueryPlanner(self)
@@ -190,6 +261,6 @@ class QueryEREngine:
         """Structured plan object (estimates, clean-first choice)."""
         mode = ExecutionMode(mode) if isinstance(mode, str) else mode
         query = parse(sql)
-        if not query.dedup:
+        if isinstance(query, ast.InsertStatement) or not query.dedup:
             raise ValueError("plan_for() is for DEDUP queries; use explain()")
         return DedupQueryPlanner(self).plan(query, mode)

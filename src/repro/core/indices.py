@@ -13,12 +13,28 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.entity import EntityCollection
 from repro.er.blocking import Block, BlockCollection, TokenBlocking
 from repro.er.linkset import LinkSet
 from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class IndexDelta:
+    """What one incremental TBI/ITBI amendment changed.
+
+    ``touched_keys`` are the blocking keys that gained at least one new
+    record; ``affected_ids`` are the *pre-existing* entities co-occurring
+    in a touched block — exactly the candidates the Link-Index
+    invalidation policy must consider.
+    """
+
+    new_ids: Tuple[Any, ...]
+    touched_keys: FrozenSet[str]
+    affected_ids: FrozenSet[Any]
 
 
 class LinkIndex:
@@ -48,6 +64,18 @@ class LinkIndex:
 
     def mark_resolved(self, entity_ids: Iterable[Any]) -> None:
         self._resolved.update(entity_ids)
+
+    def unresolve(self, entity_ids: Iterable[Any]) -> int:
+        """Drop *entity_ids* from the resolved set, returning how many were.
+
+        Their recorded links stay — links are facts (the matcher is
+        deterministic over immutable attribute values) — but the entities
+        will be re-resolved by the next query that evaluates them, which
+        is how ingestion keeps progressive cleaning sound after appends.
+        """
+        before = len(self._resolved)
+        self._resolved.difference_update(entity_ids)
+        return before - len(self._resolved)
 
     def add_links(self, links: Iterable[tuple]) -> None:
         for a, b in links:
@@ -91,6 +119,47 @@ class TableIndex:
         self.tbi: BlockCollection = self.blocking.build(self.entities.items())
         self.itbi: Dict[Any, List[str]] = self.tbi.inverted()
         self.link_index = LinkIndex()
+
+    # -- incremental maintenance ----------------------------------------------
+    def add_records(self, entity_ids: Iterable[Any]) -> "IndexDelta":
+        """Amend the TBI/ITBI with rows already appended to the table.
+
+        No rebuild: each new record's tokens are inserted into the TBI,
+        the record gets its own ITBI entry, and — because ITBI key lists
+        are ordered ascending by block size (§3) and the touched blocks
+        just grew — only the key lists of entities co-occurring in a
+        touched block are re-sorted.  The resulting TBI/ITBI are
+        element-for-element identical to a from-scratch rebuild over the
+        grown table (asserted by the incremental-maintenance tests).
+        """
+        new_ids = list(entity_ids)
+        new_keys: Dict[Any, Set[str]] = {}
+        touched: Set[str] = set()
+        for entity_id in new_ids:
+            keys = self.blocking.keys_for(self.entities.attributes(entity_id))
+            new_keys[entity_id] = keys
+            for key in keys:
+                self.tbi.add(key, entity_id)
+            touched |= keys
+
+        affected: Set[Any] = set()
+        for key in touched:
+            affected |= self.tbi.get(key).entities
+        affected -= set(new_ids)
+
+        def size_order(key: str):
+            return (self.tbi.get(key).size, key)
+
+        for entity_id in new_ids:
+            # Token-less records (all-NULL attributes) get no ITBI entry,
+            # matching BlockCollection.inverted() on a rebuild.
+            if new_keys[entity_id]:
+                self.itbi[entity_id] = sorted(new_keys[entity_id], key=size_order)
+        for entity_id in affected:
+            keys_of = self.itbi.get(entity_id)
+            if keys_of:
+                keys_of.sort(key=size_order)
+        return IndexDelta(tuple(new_ids), frozenset(touched), frozenset(affected))
 
     # -- QBI ----------------------------------------------------------------
     def query_block_index(self, entity_ids: Iterable[Any]) -> BlockCollection:

@@ -179,6 +179,22 @@ class TableStatistics:
         self.sample_size = len(rows)
         self.sample_duplicates = duplicates
         self.duplication_factor = duplicates / len(rows) if rows else 0.0
+        self.base_rows = len(table)
+        self.appended_rows = 0
+
+    def mark_appended(self, count: int) -> None:
+        """Record that *count* rows were ingested since this sample ran."""
+        self.appended_rows += count
+
+    @property
+    def stale(self) -> bool:
+        """Whether appends since sampling invalidate the duplication factor.
+
+        The eagerly-cleaned sample no longer represents the collection
+        once it has grown; ``QueryEREngine.statistics_of`` recomputes a
+        stale statistic lazily on next use.
+        """
+        return self.appended_rows > 0
 
     def estimated_dr_size(self, qe_size: int) -> int:
         """Estimated |DR_E| for a query evaluating *qe_size* entities."""

@@ -67,6 +67,20 @@ class LinkSet:
                     frontier.append(neighbour)
         return seen
 
+    def closure(self, entity_ids: Iterable[Any]) -> Set[Any]:
+        """Union of :meth:`cluster_of` over *entity_ids*.
+
+        The incremental subsystem uses this to expand a set of
+        directly-affected entities to every entity whose recorded cluster
+        they participate in, so un-resolving after an append reaches the
+        whole cluster and not just its block-sharing members.
+        """
+        reached: Set[Any] = set()
+        for entity_id in entity_ids:
+            if entity_id not in reached:
+                reached |= self.cluster_of(entity_id)
+        return reached
+
     def entities(self) -> Set[Any]:
         """Every entity participating in at least one link."""
         return set(self._adjacent)

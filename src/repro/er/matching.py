@@ -126,6 +126,15 @@ class ProfileMatcher:
             return 0.0
         return jaccard(left_tokens, right_tokens)
 
+    def clear_cache(self) -> None:
+        """Drop the token and pair-similarity memos.
+
+        Benchmarks call this (via ``QueryEREngine.clear_caches``) between
+        measurements so no run inherits a warm similarity cache.
+        """
+        self._token_cache.clear()
+        self._pair_cache.clear()
+
     def matches(self, left: Mapping[str, Any], right: Mapping[str, Any]) -> bool:
         """Whether the two profiles are duplicates under the threshold."""
         return self.profile_similarity(left, right) >= self.threshold

@@ -1,0 +1,52 @@
+"""Executes parsed DML statements against the engine.
+
+``INSERT INTO`` is the only DML form today; UPDATE/DELETE are the
+natural next additions and will slot in beside :meth:`DmlExecutor.execute`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.sql import ast
+from repro.sql.executor import QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine ↔ incremental)
+    from repro.core.engine import QueryEREngine
+
+
+class DmlExecutor:
+    """Routes DML statements through the engine's :class:`IndexMaintainer`."""
+
+    def __init__(self, engine: "QueryEREngine"):
+        self.engine = engine
+
+    def execute(self, statement: ast.InsertStatement) -> QueryResult:
+        """Run one ``INSERT INTO`` and report the batch outcome as a row.
+
+        The result mirrors SELECT's :class:`QueryResult` shape so CLI and
+        callers handle both uniformly: one row with the inserted count
+        and the maintenance counters of the batch.
+        """
+        start = time.perf_counter()
+        outcome = self.engine.insert(
+            statement.table,
+            [tuple(literal.value for literal in row) for row in statement.rows],
+            columns=statement.columns or None,
+        )
+        elapsed = time.perf_counter() - start
+        return QueryResult(
+            ["rows_inserted", "touched_blocks", "invalidated_entities"],
+            [(outcome.inserted, outcome.touched_blocks, outcome.invalidated)],
+            elapsed,
+        )
+
+    @staticmethod
+    def describe(statement: ast.InsertStatement) -> str:
+        """One-line plan description for ``EXPLAIN``-style output."""
+        return (
+            f"Insert({statement.table}, {len(statement.rows)} rows"
+            + (f", columns={list(statement.columns)}" if statement.columns else "")
+            + ")"
+        )

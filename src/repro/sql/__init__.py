@@ -3,7 +3,8 @@
 Implements the flat SPJ dialect of the paper (§5): conjunctive and
 disjunctive WHERE clauses with ``col op constant`` and equi-join
 conditions, plus the ``SELECT DEDUP`` extension that triggers
-analysis-aware deduplication (§3).
+analysis-aware deduplication (§3) and the multi-row ``INSERT INTO``
+DML form that feeds incremental ingestion (:mod:`repro.incremental`).
 """
 
 from repro.sql.lexer import Lexer, LexError

@@ -2,12 +2,14 @@
 
 Expression nodes are plain frozen dataclasses; queries are a single
 :class:`SelectQuery` (the paper targets flat SPJ queries only, §5).
+:class:`InsertStatement` is the one DML form — multi-row ``INSERT INTO``
+— feeding the incremental ingestion subsystem.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple, Union
 
 
 class Expr:
@@ -241,3 +243,33 @@ class SelectQuery:
         if self.limit is not None:
             parts.append(f"LIMIT {self.limit}")
         return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    """``INSERT INTO table [(col, ...)] VALUES (...), (...)``.
+
+    Values are literals only (no expressions); with no explicit column
+    list each row must supply every schema column in declaration order.
+    ``dedup`` is always False so engine dispatch can treat statements
+    uniformly.
+    """
+
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Literal, ...], ...]
+    dedup: bool = field(default=False, init=False)
+
+    def __str__(self) -> str:
+        parts = [f"INSERT INTO {self.table}"]
+        if self.columns:
+            parts.append("(" + ", ".join(self.columns) + ")")
+        rendered = ", ".join(
+            "(" + ", ".join(str(v) for v in row) + ")" for row in self.rows
+        )
+        parts.append(f"VALUES {rendered}")
+        return " ".join(parts)
+
+
+#: Every statement form :func:`repro.sql.parser.parse` can return.
+Statement = Union[SelectQuery, InsertStatement]

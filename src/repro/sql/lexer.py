@@ -21,7 +21,7 @@ class LexError(ValueError):
 
 
 class Lexer:
-    """Single-pass tokenizer for the SPJ dialect."""
+    """Single-pass tokenizer for the SPJ + DML dialect."""
 
     def __init__(self, text: str):
         self._text = text

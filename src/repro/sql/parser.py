@@ -2,9 +2,13 @@
 
 Grammar (informal):
 
+    statement  := (query | insert) [';']
     query      := SELECT [DEDUP] [DISTINCT] select_list FROM table_ref
                   (join_clause)* [WHERE expr] [ORDER BY order_list]
                   [LIMIT number]
+    insert     := INSERT INTO ident ['(' ident (',' ident)* ')']
+                  VALUES value_row (',' value_row)*
+    value_row  := '(' literal (',' literal)* ')'
     select_list:= '*' | item (',' item)*
     item       := expr [AS ident]  |  ident '.' '*'
     join_clause:= [INNER|LEFT|RIGHT] JOIN table_ref ON expr
@@ -31,7 +35,7 @@ class ParseError(ValueError):
 
 
 class Parser:
-    """Parses one SELECT statement into an :class:`ast.SelectQuery`."""
+    """Parses one statement: ``SELECT [DEDUP]`` or ``INSERT INTO``."""
 
     def __init__(self, text: str):
         self._tokens = Lexer(text).tokenize()
@@ -78,13 +82,66 @@ class Parser:
         return token
 
     # -- entry point -------------------------------------------------------
-    def parse(self) -> ast.SelectQuery:
+    def parse(self) -> ast.Statement:
         """Parse the full statement, requiring EOF afterwards."""
-        query = self._select()
+        if self._peek().is_keyword("INSERT"):
+            statement: ast.Statement = self._insert()
+        else:
+            statement = self._select()
+        self._accept_punct(";")
         trailing = self._peek()
         if trailing.type is not TokenType.EOF:
             raise ParseError("unexpected trailing input", trailing)
-        return query
+        return statement
+
+    # -- DML ---------------------------------------------------------------
+    def _insert(self) -> ast.InsertStatement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier().value
+        columns: Tuple[str, ...] = ()
+        if self._accept_punct("("):
+            names = [self._expect_identifier().value]
+            while self._accept_punct(","):
+                names.append(self._expect_identifier().value)
+            self._expect_punct(")")
+            columns = tuple(names)
+        self._expect_keyword("VALUES")
+        rows = [self._value_row(len(columns) or None)]
+        while self._accept_punct(","):
+            rows.append(self._value_row(len(rows[0]) if not columns else len(columns)))
+        return ast.InsertStatement(table=table, columns=columns, rows=tuple(rows))
+
+    def _value_row(self, arity: Optional[int]) -> Tuple[ast.Literal, ...]:
+        opening = self._expect_punct("(")
+        values = [self._literal_value()]
+        while self._accept_punct(","):
+            values.append(self._literal_value())
+        self._expect_punct(")")
+        if arity is not None and len(values) != arity:
+            raise ParseError(
+                f"VALUES row has {len(values)} values, expected {arity}", opening
+            )
+        return tuple(values)
+
+    def _literal_value(self) -> ast.Literal:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            number = self._advance()
+            if number.type is not TokenType.NUMBER:
+                raise ParseError("expected a number after '-'", number)
+            return ast.Literal(-number.value)
+        token = self._advance()
+        if token.type in (TokenType.STRING, TokenType.NUMBER):
+            return ast.Literal(token.value)
+        if token.is_keyword("NULL"):
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            return ast.Literal(False)
+        raise ParseError("VALUES accepts literals only", token)
 
     def _select(self) -> ast.SelectQuery:
         self._expect_keyword("SELECT")
@@ -351,6 +408,6 @@ class Parser:
         raise ParseError("expected expression", token)
 
 
-def parse(text: str) -> ast.SelectQuery:
-    """Parse *text* into a :class:`~repro.sql.ast.SelectQuery`."""
+def parse(text: str) -> ast.Statement:
+    """Parse *text* into a :class:`~repro.sql.ast.Statement`."""
     return Parser(text).parse()

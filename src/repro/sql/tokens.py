@@ -19,11 +19,15 @@ class TokenType(enum.Enum):
     EOF = "eof"
 
 
-#: Reserved words (case-insensitive).  ``DEDUP`` is QueryER's extension.
+#: Reserved words (case-insensitive).  ``DEDUP`` is QueryER's extension;
+#: ``INSERT``/``INTO``/``VALUES`` belong to the incremental-ingestion DML.
 KEYWORDS = frozenset(
     {
         "SELECT",
         "DEDUP",
+        "INSERT",
+        "INTO",
+        "VALUES",
         "DISTINCT",
         "FROM",
         "WHERE",
@@ -56,7 +60,7 @@ KEYWORDS = frozenset(
 #: Multi-character operators first so the lexer prefers the longest match.
 OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%")
 
-PUNCTUATION = ("(", ")", ",", ".")
+PUNCTUATION = ("(", ")", ",", ".", ";")
 
 
 @dataclass(frozen=True)

@@ -1,9 +1,12 @@
 """In-memory row-store tables.
 
-A :class:`Table` is an immutable ordered collection of rows conforming to a
-:class:`~repro.storage.schema.Schema`.  It is the physical representation
-of the paper's *entity collection* E; the ER layer views the same rows as
-:class:`~repro.core.entity.Entity` objects.
+A :class:`Table` is an append-only ordered collection of rows conforming
+to a :class:`~repro.storage.schema.Schema`.  It is the physical
+representation of the paper's *entity collection* E; the ER layer views
+the same rows as :class:`~repro.core.entity.Entity` objects.  Existing
+rows never change — the incremental ingestion subsystem
+(:mod:`repro.incremental`) grows a table via :meth:`Table.append_rows`
+and amends the dependent indices in step.
 """
 
 from __future__ import annotations
@@ -77,7 +80,7 @@ class Row:
 
 
 class Table:
-    """An immutable, named, in-memory table.
+    """A named, in-memory, append-only table.
 
     Rows are coerced to the schema's column domains on construction.  The
     identifier column must be unique across rows — entity ids key every
@@ -95,19 +98,9 @@ class Table:
             raise ValueError("table name must be non-empty")
         self._name = name
         self._schema = schema
-        built: List[Row] = []
-        seen_ids: Dict[Any, int] = {}
-        for raw in rows:
-            values = schema.coerce_row(raw) if coerce else tuple(raw)
-            row = Row(schema, values)
-            if row.id is None:
-                raise SchemaError(f"table {name!r}: row with null id: {row!r}")
-            if row.id in seen_ids:
-                raise SchemaError(f"table {name!r}: duplicate id {row.id!r}")
-            seen_ids[row.id] = len(built)
-            built.append(row)
-        self._rows = built
-        self._by_id = seen_ids
+        self._rows: List[Row] = []
+        self._by_id: Dict[Any, int] = {}
+        self.append_rows(rows, coerce=coerce)
 
     @property
     def name(self) -> str:
@@ -145,6 +138,31 @@ class Table:
         """Like :meth:`by_id` but returns ``None`` when absent."""
         pos = self._by_id.get(entity_id)
         return None if pos is None else self._rows[pos]
+
+    def append_rows(self, rows: Iterable[Sequence[Any]], coerce: bool = True) -> List[Row]:
+        """Append *rows* atomically, returning the built :class:`Row` objects.
+
+        The whole batch is validated (coercion, non-null ids, uniqueness
+        against the table *and* within the batch) before any row becomes
+        visible, so a failed insert leaves the table unchanged.  Callers
+        that maintain derived indices (see
+        :class:`repro.incremental.IndexMaintainer`) rely on this
+        all-or-nothing behaviour.
+        """
+        staged: List[Row] = []
+        staged_ids: Dict[Any, int] = {}
+        for raw in rows:
+            values = self._schema.coerce_row(raw) if coerce else tuple(raw)
+            row = Row(self._schema, values)
+            if row.id is None:
+                raise SchemaError(f"table {self._name!r}: row with null id: {row!r}")
+            if row.id in self._by_id or row.id in staged_ids:
+                raise SchemaError(f"table {self._name!r}: duplicate id {row.id!r}")
+            staged_ids[row.id] = len(self._rows) + len(staged)
+            staged.append(row)
+        self._rows.extend(staged)
+        self._by_id.update(staged_ids)
+        return staged
 
     def select(self, predicate: Callable[[Row], bool], name: Optional[str] = None) -> "Table":
         """Return a new table containing the rows satisfying *predicate*."""

@@ -192,3 +192,34 @@ class TestModes:
         engine.register(table)
         result = engine.execute("SELECT DEDUP id, v FROM N ORDER BY v")
         assert [row[1] for row in result.rows] == [2, 9, 10]  # not "10" < "2" < "9"
+
+
+class TestRegisterReplace:
+    """Regression: replace=True must purge per-table cached state."""
+
+    def test_replace_purges_join_percentage_cache(self, engine):
+        assert engine.join_percentage("L", "R", "ref", "key") == (0.75, 2 / 3)
+        engine.register(
+            Table("R", Schema.of("id", "key"), [("r1", "k1"), ("r2", "k3")]),
+            replace=True,
+        )
+        # Stale cache would still say (0.75, 2/3) against the dead index.
+        assert engine.join_percentage("L", "R", "ref", "key") == (0.75, 1.0)
+
+    def test_replace_purges_memoized_statistics(self):
+        engine = QueryEREngine(sample_stats=False)
+        engine.register(left_table())
+        before = engine.statistics_of("L")  # lazily memoized
+        replacement = Table("L", Schema.of("id", "name"), [("l1", "solo")])
+        engine.register(replacement, replace=True)
+        after = engine.statistics_of("L")
+        assert after is not before
+        assert after.base_rows == 1
+
+    def test_replace_with_sample_stats_rebuilds_statistics(self):
+        engine = QueryEREngine(sample_stats=True)
+        engine.register(left_table())
+        before = engine.statistics_of("L")
+        engine.register(Table("L", Schema.of("id", "name"), [("l1", "solo")]), replace=True)
+        after = engine.statistics_of("L")
+        assert after is not before and after.base_rows == 1
