@@ -1,0 +1,417 @@
+"""Comparison-Execution perf-regression harness.
+
+Measures the hot path this repository optimizes — blocking-graph
+construction plus Comparison-Execution matching — and the paper-shaped
+query workloads around it (fig 9's SP sweep, fig 10's scalability probe,
+table 6's stage breakdown), then emits ``BENCH_comparison_execution.json``
+as the perf-trajectory record every later PR is held to.
+
+Two configurations run side by side:
+
+* **fast** — the shipped defaults: packed blocking graph, signature
+  cascade, interned tokens.
+* **baseline** — every fast path disabled (``packed=False`` graphs, a
+  ``fast_path=False`` matcher), reproducing the pre-fast-path
+  implementation.
+
+The harness asserts both configurations produce identical retained
+pairs and identical match decisions before reporting any timing: the
+cascade is exact, not approximate, and the JSON records that check.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.perf_regression
+    PYTHONPATH=src python -m repro.bench.perf_regression --quick \
+        --output /tmp/bench.json --check BENCH_comparison_execution.json
+
+``--check BASELINE`` compares the fresh run's *result shape* — workload
+row/comparison counts, microbenchmark pair/match counts, the
+identical-results flags — against a committed baseline and exits
+non-zero on drift.  Timings are reported, never gated: CI stays
+immune to noisy runners while result drift fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.datasets import SCALE, registry
+from repro.bench.harness import fresh_engine, run_query
+from repro.bench.reporting import format_table
+from repro.bench.workload import q9_query, sp_queries
+from repro.core.indices import TableIndex
+from repro.core.planner import ExecutionMode
+from repro.er.block_filtering import block_filtering
+from repro.er.block_purging import block_purging
+from repro.er.edge_pruning import edge_pruning
+from repro.er.matching import ProfileMatcher
+
+SCHEMA = "repro/bench/comparison-execution/v1"
+
+#: fig 9 runs one SP sweep per dataset family (paper §9.2).
+FIG9_DATASETS: Sequence[Tuple[str, str]] = (
+    ("DSD", "DSD"),
+    ("OAP", "OAP"),
+    ("OAGP2M", "OAGP"),
+)
+
+#: fig 10 scales the same Q9 probe across the PPL size ladder.
+FIG10_DATASETS: Sequence[str] = ("PPL200K", "PPL500K", "PPL1M", "PPL1.5M", "PPL2M")
+
+
+# -- microbenchmark ---------------------------------------------------------
+
+
+def _micro_prepare(dataset_key: str):
+    """Shared, untimed prep: index, frontier and the BP+BF-refined EQBI."""
+    table = registry().table(dataset_key)
+    index = TableIndex(table)
+    frontier = {row.id for row in table if row.id % 3 == 0}
+    eqbi = index.block_join(index.query_block_index(frontier))
+    refined = block_filtering(block_purging(eqbi.non_singleton()))
+    return table, index, frontier, refined
+
+
+def microbenchmark(dataset_key: str, repeat: int = 3) -> Dict[str, Any]:
+    """Blocking-graph build + matching, fast vs baseline, one dataset.
+
+    Timed stages are exactly the two this PR rebuilds: (a) blocking-graph
+    construction + Weighted Edge Pruning over the refined EQBI, (b)
+    Comparison-Execution matching over the retained pairs.  Everything
+    upstream (blocking, BP, BF) is shared untimed prep.
+    """
+    table, index, frontier, refined = _micro_prepare(dataset_key)
+
+    def time_graph(packed: bool) -> Tuple[float, set]:
+        best = float("inf")
+        kept: set = set()
+        for _ in range(repeat):
+            start = time.perf_counter()
+            kept = edge_pruning(refined, focus=frontier, packed=packed)
+            best = min(best, time.perf_counter() - start)
+        return best, kept
+
+    graph_fast_s, kept_fast = time_graph(True)
+    graph_base_s, kept_base = time_graph(False)
+    identical = kept_fast == kept_base
+
+    pairs = sorted(kept_fast, key=repr)
+    signature_of = index.signature_of
+    for left, right in pairs:  # build signatures outside the timed region
+        signature_of(left)
+        signature_of(right)
+
+    fast_matcher = ProfileMatcher(exclude=(table.schema.id_column,))
+    start = time.perf_counter()
+    fast_matches = [
+        pair
+        for pair in pairs
+        if fast_matcher.match_signatures(signature_of(pair[0]), signature_of(pair[1]))
+    ]
+    match_fast_s = time.perf_counter() - start
+
+    base_matcher = ProfileMatcher(exclude=(table.schema.id_column,), fast_path=False)
+    attributes = index.entities.attributes
+    attribute_cache: Dict[Any, dict] = {}
+
+    def attrs(entity_id):
+        cached = attribute_cache.get(entity_id)
+        if cached is None:
+            cached = attributes(entity_id)
+            attribute_cache[entity_id] = cached
+        return cached
+
+    start = time.perf_counter()
+    base_matches = [
+        pair for pair in pairs if base_matcher.matches(attrs(pair[0]), attrs(pair[1]))
+    ]
+    match_base_s = time.perf_counter() - start
+    identical = identical and fast_matches == base_matches
+
+    return {
+        "dataset": dataset_key,
+        "entities": len(table),
+        "frontier": len(frontier),
+        "pairs": len(pairs),
+        "matches": len(fast_matches),
+        "identical_results": identical,
+        "graph_baseline_s": round(graph_base_s, 6),
+        "graph_fast_s": round(graph_fast_s, 6),
+        "graph_speedup": round(graph_base_s / graph_fast_s, 2) if graph_fast_s else None,
+        "match_baseline_s": round(match_base_s, 6),
+        "match_fast_s": round(match_fast_s, 6),
+        "match_speedup": round(match_base_s / match_fast_s, 2) if match_fast_s else None,
+        "combined_speedup": round(
+            (graph_base_s + match_base_s) / (graph_fast_s + match_fast_s), 2
+        )
+        if (graph_fast_s + match_fast_s)
+        else None,
+        "cascade": dict(fast_matcher.cascade_stats),
+    }
+
+
+def run_microbenchmarks(dataset_keys: Sequence[str], repeat: int = 3) -> Dict[str, Any]:
+    per_dataset = [microbenchmark(key, repeat=repeat) for key in dataset_keys]
+    baseline_s = sum(d["graph_baseline_s"] + d["match_baseline_s"] for d in per_dataset)
+    fast_s = sum(d["graph_fast_s"] + d["match_fast_s"] for d in per_dataset)
+    return {
+        "description": (
+            "blocking-graph build (+WEP) and Comparison-Execution matching on "
+            "the fig9-style generated datasets; baseline = all fast paths disabled"
+        ),
+        "datasets": per_dataset,
+        "aggregate": {
+            "baseline_s": round(baseline_s, 6),
+            "fast_s": round(fast_s, 6),
+            "speedup": round(baseline_s / fast_s, 2) if fast_s else None,
+        },
+        "identical_results": all(d["identical_results"] for d in per_dataset),
+    }
+
+
+# -- workload timings -------------------------------------------------------
+
+
+def _workload_entry(measurement, suite: str) -> Dict[str, Any]:
+    total = measurement.total_time
+    return {
+        "suite": suite,
+        "dataset": measurement.dataset,
+        "qid": measurement.qid,
+        "mode": measurement.mode,
+        "total_s": round(total, 6),
+        "comparisons": measurement.comparisons,
+        "comparisons_per_s": round(measurement.comparisons / total, 1) if total else None,
+        "rows": measurement.rows,
+        "stage_s": {k: round(v, 6) for k, v in measurement.stage_times.items()},
+        "stage_pct": {
+            k: round(v, 1) for k, v in measurement.breakdown_percentages().items()
+        },
+    }
+
+
+def run_workloads(quick: bool = False) -> List[Dict[str, Any]]:
+    """fig9 (SP sweep), fig10 (Q9 scaling) and table6-style stage times."""
+    entries: List[Dict[str, Any]] = []
+    fig9 = FIG9_DATASETS[:1] if quick else FIG9_DATASETS
+    for dataset_key, family in fig9:
+        table = registry().table(dataset_key)
+        engine = fresh_engine([table])
+        queries = sp_queries(family)
+        if quick:
+            queries = [q for q in queries if q.qid in ("Q1", "Q3")]
+        for query in queries:
+            measurement = run_query(
+                engine, query.qid, dataset_key, query.sql, ExecutionMode.AES
+            )
+            entries.append(_workload_entry(measurement, "fig9"))
+    fig10 = FIG10_DATASETS[:2] if quick else FIG10_DATASETS
+    for dataset_key in fig10:
+        table = registry().table(dataset_key)
+        engine = fresh_engine([table])
+        query = q9_query("PPL")
+        measurement = run_query(
+            engine, query.qid, dataset_key, query.sql, ExecutionMode.AES
+        )
+        entries.append(_workload_entry(measurement, "fig10"))
+    return entries
+
+
+# -- report assembly --------------------------------------------------------
+
+
+def run(quick: bool = False, repeat: int = 3) -> Dict[str, Any]:
+    micro_keys = [key for key, _ in (FIG9_DATASETS[:2] if quick else FIG9_DATASETS)]
+    micro = run_microbenchmarks(micro_keys, repeat=repeat)
+    workloads = run_workloads(quick=quick)
+    return {
+        "schema": SCHEMA,
+        "generated_unix": int(time.time()),
+        "scale": SCALE,
+        "quick": quick,
+        "python": "%d.%d" % sys.version_info[:2],
+        "microbenchmark": micro,
+        "workloads": workloads,
+    }
+
+
+def render(report: Dict[str, Any]) -> str:
+    lines = []
+    micro = report["microbenchmark"]
+    rows = [
+        (
+            d["dataset"],
+            d["pairs"],
+            d["matches"],
+            d["graph_baseline_s"],
+            d["graph_fast_s"],
+            d["match_baseline_s"],
+            d["match_fast_s"],
+            d["combined_speedup"],
+            "yes" if d["identical_results"] else "NO",
+        )
+        for d in micro["datasets"]
+    ]
+    lines.append(
+        format_table(
+            [
+                "dataset",
+                "pairs",
+                "matches",
+                "graph base s",
+                "graph fast s",
+                "match base s",
+                "match fast s",
+                "speedup",
+                "identical",
+            ],
+            rows,
+            title="Comparison-Execution microbenchmark (graph build + matching)",
+        )
+    )
+    aggregate = micro["aggregate"]
+    lines.append(
+        f"aggregate: baseline {aggregate['baseline_s']:.3f}s → "
+        f"fast {aggregate['fast_s']:.3f}s  ({aggregate['speedup']}x)"
+    )
+    workload_rows = [
+        (
+            e["suite"],
+            e["dataset"],
+            e["qid"],
+            e["total_s"],
+            e["comparisons"],
+            e["comparisons_per_s"],
+            e["rows"],
+        )
+        for e in report["workloads"]
+    ]
+    lines.append("")
+    lines.append(
+        format_table(
+            ["suite", "dataset", "qid", "total s", "comparisons", "cmp/s", "rows"],
+            workload_rows,
+            title="Workload timings (AES)",
+        )
+    )
+    return "\n".join(lines)
+
+
+# -- shape-drift check ------------------------------------------------------
+
+
+def check_shape(report: Dict[str, Any], baseline: Dict[str, Any]) -> List[str]:
+    """Result-shape drift between a fresh run and a committed baseline.
+
+    Compares deterministic result fields only — comparison counts, row
+    counts, match counts, the identical-results invariants.  Timings are
+    never compared.  Returns human-readable drift messages (empty =
+    clean).  A quick run checks the subset of workloads it executed.
+    """
+    problems: List[str] = []
+    if report.get("schema") != baseline.get("schema"):
+        problems.append(
+            f"schema drift: {report.get('schema')!r} != {baseline.get('schema')!r}"
+        )
+        return problems
+    if report.get("scale") != baseline.get("scale"):
+        problems.append(
+            f"scale mismatch (run {report.get('scale')}, baseline "
+            f"{baseline.get('scale')}): results are not comparable"
+        )
+        return problems
+    if not report["microbenchmark"]["identical_results"]:
+        problems.append("microbenchmark: fast and baseline results diverged")
+    baseline_micro = {
+        d["dataset"]: d for d in baseline["microbenchmark"]["datasets"]
+    }
+    for current in report["microbenchmark"]["datasets"]:
+        reference = baseline_micro.get(current["dataset"])
+        if reference is None:
+            problems.append(f"microbenchmark dataset {current['dataset']} not in baseline")
+            continue
+        for field in ("entities", "frontier", "pairs", "matches"):
+            if current[field] != reference[field]:
+                problems.append(
+                    f"microbenchmark {current['dataset']}: {field} drifted "
+                    f"{reference[field]} -> {current[field]}"
+                )
+    baseline_workloads = {
+        (e["suite"], e["dataset"], e["qid"], e["mode"]): e
+        for e in baseline["workloads"]
+    }
+    for entry in report["workloads"]:
+        key = (entry["suite"], entry["dataset"], entry["qid"], entry["mode"])
+        reference = baseline_workloads.get(key)
+        if reference is None:
+            problems.append(f"workload {key} not in baseline")
+            continue
+        for field in ("comparisons", "rows"):
+            if entry[field] != reference[field]:
+                problems.append(
+                    f"workload {key}: {field} drifted "
+                    f"{reference[field]} -> {entry[field]}"
+                )
+    return problems
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.perf_regression", description=__doc__.split("\n\n")[0]
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_comparison_execution.json",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload subset (CI smoke): fewer datasets and queries",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="microbenchmark graph-build repetitions, best-of (default: 3)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare result shape against a committed baseline JSON; "
+        "exit 1 on drift (timings are reported, never gated)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(quick=args.quick, repeat=args.repeat)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(render(report))
+    print(f"\nreport written to {args.output}")
+
+    if not report["microbenchmark"]["identical_results"]:
+        print("FAIL: fast path and baseline produced different results", file=sys.stderr)
+        return 1
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        problems = check_shape(report, baseline)
+        if problems:
+            print(f"\nresult-shape drift vs {args.check}:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"result shape matches {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

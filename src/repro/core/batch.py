@@ -13,8 +13,8 @@ from typing import Optional
 
 from repro.core.indices import TableIndex
 from repro.core.result import DedupResult
-from repro.er.blocking import _safe_sorted
 from repro.er.linkset import LinkSet, canonical_pair
+from repro.er.util import safe_sorted
 from repro.er.matching import ProfileMatcher
 from repro.er.meta_blocking import MetaBlockingConfig, apply_meta_blocking
 from repro.sql.physical import ExecutionContext
@@ -42,28 +42,21 @@ def batch_deduplicate(
 
     links = LinkSet()
     compared = set()
-    cache: dict = {}
-    fetch = index.entities.attributes
-
-    def attributes(entity_id):
-        attrs = cache.get(entity_id)
-        if attrs is None:
-            attrs = fetch(entity_id)
-            cache[entity_id] = attrs
-        return attrs
+    signature_of = index.signature_of
+    match = matcher.match_signatures
 
     with context.timed("resolution"):
         for block in refined:
-            members = _safe_sorted(block.entities)
+            members = safe_sorted(block.entities)
             for i, left in enumerate(members):
-                left_attrs = attributes(left)
+                left_signature = signature_of(left)
                 for right in members[i + 1 :]:
                     pair = canonical_pair(left, right)
                     if pair in compared:
                         continue
                     compared.add(pair)
                     context.comparisons += 1
-                    if matcher.matches(left_attrs, attributes(right)):
+                    if match(left_signature, signature_of(right)):
                         links.add(left, right)
 
     return DedupResult(index.table, index.table.ids, links=links)

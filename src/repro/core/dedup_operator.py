@@ -23,8 +23,8 @@ from typing import Any, Iterable, List, Optional, Set, Tuple
 
 from repro.core.indices import TableIndex
 from repro.core.result import DedupResult
-from repro.er.blocking import _safe_sorted
 from repro.er.linkset import LinkSet, canonical_pair
+from repro.er.util import safe_sorted
 from repro.er.matching import ProfileMatcher
 from repro.er.meta_blocking import MetaBlockingConfig, apply_meta_blocking
 from repro.sql.physical import ExecutionContext
@@ -168,20 +168,16 @@ class DeduplicateOperator:
         stats.eqbi_comparisons_after += refined.cardinality
 
         # (iv) Comparison-Execution — QE-side pairs only, each pair once.
+        # Pairs are compared through cached profile signatures (interned
+        # token arrays + normalized strings) so the matcher's cascade can
+        # short-circuit; decisions stay bit-identical to the raw
+        # attribute path.
         newly_found: Set[Any] = set()
         with context.timed("resolution"):
-            cache: dict = {}
-            fetch = self.index.entities.attributes
-
-            def attributes(entity_id: Any) -> dict:
-                attrs = cache.get(entity_id)
-                if attrs is None:
-                    attrs = fetch(entity_id)
-                    cache[entity_id] = attrs
-                return attrs
-
+            signature_of = self.index.signature_of
+            match = self.matcher.match_signatures
             for block in refined:
-                members = _safe_sorted(block.entities)
+                members = safe_sorted(block.entities)
                 for i, left in enumerate(members):
                     for right in members[i + 1 :]:
                         if left not in frontier and right not in frontier:
@@ -194,7 +190,7 @@ class DeduplicateOperator:
                             stats.candidate_pairs.append(pair)
                         context.comparisons += 1
                         stats.executed_comparisons += 1
-                        if self.matcher.matches(attributes(left), attributes(right)):
+                        if match(signature_of(left), signature_of(right)):
                             links.add(left, right)
                             stats.matches_found += 1
                             newly_found.add(left)

@@ -19,6 +19,8 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from repro.core.entity import EntityCollection
 from repro.er.blocking import Block, BlockCollection, TokenBlocking
 from repro.er.linkset import LinkSet
+from repro.er.matching import ProfileSignature, build_signature
+from repro.er.tokenizer import TokenVocabulary
 from repro.storage.table import Table
 
 
@@ -119,6 +121,38 @@ class TableIndex:
         self.tbi: BlockCollection = self.blocking.build(self.entities.items())
         self.itbi: Dict[Any, List[str]] = self.tbi.inverted()
         self.link_index = LinkIndex()
+        # Comparison-Execution fast-path state: one token vocabulary per
+        # table, and per-entity profile signatures memoized on first use
+        # (rows are immutable, so a signature never goes stale; appends
+        # only add ids that simply are not cached yet).
+        self.vocabulary = TokenVocabulary()
+        self._signatures: Dict[Any, ProfileSignature] = {}
+        self._signature_exclude = frozenset({table.schema.id_column.lower()})
+
+    # -- profile signatures ----------------------------------------------
+    def signature_of(self, entity_id: Any) -> ProfileSignature:
+        """The entity's cached :class:`ProfileSignature` (built lazily).
+
+        Laziness keeps registration cost unchanged; a signature is paid
+        for exactly once, the first time Comparison-Execution touches the
+        entity, and the incremental maintainer pre-builds them for
+        ingested batches.
+        """
+        signature = self._signatures.get(entity_id)
+        if signature is None:
+            signature = build_signature(
+                entity_id,
+                self.entities.attributes(entity_id),
+                self.vocabulary,
+                self._signature_exclude,
+            )
+            self._signatures[entity_id] = signature
+        return signature
+
+    @property
+    def signature_count(self) -> int:
+        """How many entities currently hold a cached signature."""
+        return len(self._signatures)
 
     # -- incremental maintenance ----------------------------------------------
     def add_records(self, entity_ids: Iterable[Any]) -> "IndexDelta":
@@ -159,6 +193,11 @@ class TableIndex:
             keys_of = self.itbi.get(entity_id)
             if keys_of:
                 keys_of.sort(key=size_order)
+        # Pre-build the batch's profile signatures so the vocabulary grows
+        # incrementally with the delta and the first post-append query
+        # pays no signature cost for the new rows.
+        for entity_id in new_ids:
+            self.signature_of(entity_id)
         return IndexDelta(tuple(new_ids), frozenset(touched), frozenset(affected))
 
     # -- QBI ----------------------------------------------------------------

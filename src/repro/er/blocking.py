@@ -9,14 +9,11 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.er.tokenizer import MIN_TOKEN_LENGTH, tokenize_entity
+from repro.er.util import safe_sorted
 
-
-def _safe_sorted(items) -> list:
-    """Sort homogeneous ids directly; repr() fallback for mixed types."""
-    try:
-        return sorted(items)
-    except TypeError:
-        return sorted(items, key=repr)
+#: Backwards-compatible alias; the implementation lives in
+#: :mod:`repro.er.util` now so every ER module shares one definition.
+_safe_sorted = safe_sorted
 
 
 class Block:

@@ -14,23 +14,65 @@ Weighting schemes implemented (standard meta-blocking literature):
 * ``JS``   — Jaccard Scheme: shared blocks over union of blocks.
 * ``ARCS`` — Aggregate Reciprocal Comparisons: Σ 1/||b|| over shared
   blocks, favouring pairs meeting in small blocks.
+
+Graph construction is the meta-blocking hot path, so the default
+(``packed=True``) build maps entities to dense integer indices once and
+represents each unordered pair as a single packed int (``left * n +
+right``).  Pair generation for non-trivial blocks and the per-scheme
+weight computation run as bulk array operations (NumPy when available,
+with a pure-Python packed fallback), and Edge Pruning consumes the
+arrays directly instead of iterating an edge generator.
+
+The unpacked build (the pre-fast-path implementation) is kept for the
+perf-regression baseline.  Both builds are observationally identical —
+same weights, same edge iteration order, same pruning output, bit for
+bit: pairs are visited in the baseline's exact order, per-pair weight
+accumulation (``np.add.at`` is unbuffered and in-order) reproduces the
+baseline's float additions, and the average weight is summed in the
+baseline's edge-insertion order.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from typing import Any, Dict, Iterable, Iterator, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every packed build
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None
 
 from repro.er.blocking import Block, BlockCollection
+from repro.er.util import LRUCache, ordered_pair, safe_sorted
+
+#: Backwards-compatible aliases; shared definitions live in repro.er.util.
+_safe_sorted = safe_sorted
+_ordered = ordered_pair
+
+#: Blocks below this size stay on the scalar pair loop — per-block array
+#: setup costs more than a handful of Python iterations.
+_VECTOR_MIN_SIZE = 16
+
+#: Blocks above this size switch from one cached triangular index pair to
+#: per-row vectorization, bounding scratch memory at O(block size).
+_VECTOR_TRIU_MAX = 256
+
+#: Bounded cache of upper-triangle index pairs keyed by block size —
+#: sizes repeat heavily across blocks, and building the triangle
+#: dominates small vectorized blocks.  One entry at the
+#: _VECTOR_TRIU_MAX extreme is ~0.5 MB (two int64 arrays of s(s-1)/2),
+#: so the LRU's worst-case footprint is ~33 MB; larger blocks never
+#: touch the cache.
+_TRIU_CACHE = LRUCache(64)
 
 
-def _safe_sorted(items) -> list:
-    """Sort homogeneous ids directly; fall back to repr for mixed types."""
-    try:
-        return sorted(items)
-    except TypeError:
-        return sorted(items, key=repr)
+def _triu_indices(size: int) -> Tuple[Any, Any]:
+    cached = _TRIU_CACHE.get(size)
+    if cached is None:
+        cached = _np.triu_indices(size, 1)
+        _TRIU_CACHE.put(size, cached)
+    return cached
 
 
 class WeightingScheme(enum.Enum):
@@ -42,19 +84,6 @@ class WeightingScheme(enum.Enum):
     ARCS = "arcs"
 
 
-def _ordered(a: Any, b: Any) -> Tuple[Any, Any]:
-    """Canonical unordered-pair representation.
-
-    Entity ids within one collection are homogeneous, so direct
-    comparison works; the repr() fallback covers mixed-type universes
-    (only reachable through hand-built block collections).
-    """
-    try:
-        return (a, b) if a <= b else (b, a)
-    except TypeError:
-        return (a, b) if repr(a) <= repr(b) else (b, a)
-
-
 class BlockingGraph:
     """Weighted co-occurrence graph of a block collection."""
 
@@ -63,20 +92,206 @@ class BlockingGraph:
         collection: BlockCollection,
         scheme: WeightingScheme = WeightingScheme.ARCS,
         focus: Optional[Set[Any]] = None,
+        packed: bool = True,
     ):
         """Build the graph; with *focus* set, only edges incident to a
         focus entity are materialized.  The Deduplicate operator passes
         its query frontier here: Comparison-Execution only ever runs
         QE-incident pairs (§6.1(iv)), so the rest of the graph would be
-        built and thrown away."""
+        built and thrown away.  *packed* selects the array-based build
+        (see module docstring); both builds are observationally
+        identical."""
         self.scheme = scheme
+        self.packed = packed
         self._block_count = max(len(collection), 1)
+        if packed:
+            self._build_packed(collection, focus)
+        else:
+            self._build_unpacked(collection, focus)
+
+    # -- packed construction ----------------------------------------------
+    def _build_packed(self, collection: BlockCollection, focus: Optional[Set[Any]]) -> None:
+        # Entities sorted once, globally: per-block integer sorts then
+        # reproduce the unpacked build's per-block entity sorts, so pair
+        # visit order — and therefore weight accumulation order and edge
+        # order — is preserved exactly.
+        universe = safe_sorted(collection.entity_ids())
+        index_of: Dict[Any, int] = {entity: i for i, entity in enumerate(universe)}
+        n = len(universe)
+        block_counts = [0] * n
+        if focus is None:
+            in_focus = None
+        else:
+            in_focus = bytearray(n)
+            for entity in focus:
+                i = index_of.get(entity)
+                if i is not None:
+                    in_focus[i] = 1
+        self._universe = universe
+        self._index_of = index_of
+        self._n = n
+        self._block_counts = block_counts
+        self._edge_positions: Optional[Dict[int, int]] = None
+        self._weights_memo = None
+        need_arcs = self.scheme is WeightingScheme.ARCS
+        if _np is not None:
+            self._accumulate_vectorized(collection, in_focus, need_arcs)
+        else:
+            self._accumulate_scalar(collection, in_focus, need_arcs)
+
+    def _accumulate_scalar(
+        self, collection: BlockCollection, in_focus: Optional[bytearray], need_arcs: bool
+    ) -> None:
+        """Pure-Python packed build: one int-keyed accumulator dict."""
+        n = self._n
+        index_of = self._index_of
+        block_counts = self._block_counts
+        stats: Dict[int, Any] = {}
+        stats_get = stats.get
+        for block in collection:
+            members = sorted([index_of[e] for e in block.entities])
+            for i in members:
+                block_counts[i] += 1
+            if need_arcs:
+                cardinality = block.cardinality
+                reciprocal = 1.0 / cardinality if cardinality else 0.0
+            count = len(members)
+            for ai in range(count):
+                left = members[ai]
+                base = left * n
+                tail = members[ai + 1 :]
+                if in_focus is not None and not in_focus[left]:
+                    tail = [right for right in tail if in_focus[right]]
+                if need_arcs:
+                    for right in tail:
+                        key = base + right
+                        stats[key] = stats_get(key, 0.0) + reciprocal
+                else:
+                    for right in tail:
+                        key = base + right
+                        stats[key] = stats_get(key, 0) + 1
+        self._edge_keys = list(stats)
+        self._edge_stats = list(stats.values())
+
+    def _accumulate_vectorized(
+        self, collection: BlockCollection, in_focus: Optional[bytearray], need_arcs: bool
+    ) -> None:
+        """NumPy packed build: bulk pair generation + in-order reduction."""
+        np = _np
+        n = self._n
+        index_of = self._index_of
+        block_counts = self._block_counts
+        focus_mask = (
+            None
+            if in_focus is None
+            else np.frombuffer(in_focus, dtype=np.uint8).view(np.bool_)
+        )
+        # Pair keys (and, for ARCS, per-visit reciprocals) are collected
+        # as parallel array segments in block order; scalar-built runs
+        # from small blocks are flushed into segments whenever a
+        # vectorized block interleaves, preserving the global visit order.
+        key_segments: List[Any] = []
+        value_segments: List[Any] = []
+        pending_keys: List[int] = []
+        pending_recips: List[float] = []
+
+        def flush_scalar() -> None:
+            if pending_keys:
+                key_segments.append(np.array(pending_keys, dtype=np.int64))
+                if need_arcs:
+                    value_segments.append(np.array(pending_recips, dtype=np.float64))
+                    pending_recips.clear()
+                pending_keys.clear()
+
+        for block in collection:
+            size = block.size
+            if need_arcs:
+                cardinality = block.cardinality
+                reciprocal = 1.0 / cardinality if cardinality else 0.0
+            if size < _VECTOR_MIN_SIZE:
+                members = sorted([index_of[e] for e in block.entities])
+                for i in members:
+                    block_counts[i] += 1
+                for ai in range(size):
+                    left = members[ai]
+                    base = left * n
+                    tail = members[ai + 1 :]
+                    if in_focus is not None and not in_focus[left]:
+                        tail = [right for right in tail if in_focus[right]]
+                    for right in tail:
+                        pending_keys.append(base + right)
+                        if need_arcs:
+                            pending_recips.append(reciprocal)
+                continue
+            flush_scalar()
+            members_arr = np.fromiter(
+                (index_of[e] for e in block.entities), dtype=np.int64, count=size
+            )
+            members_arr.sort()
+            for i in members_arr.tolist():
+                block_counts[i] += 1
+            if size <= _VECTOR_TRIU_MAX:
+                ii, jj = _triu_indices(size)
+                left = members_arr[ii]
+                right = members_arr[jj]
+                keys = left * n + right
+                if focus_mask is not None:
+                    keep = focus_mask[left] | focus_mask[right]
+                    keys = keys[keep]
+                if keys.size:
+                    key_segments.append(keys)
+                    if need_arcs:
+                        value_segments.append(
+                            np.full(keys.size, reciprocal, dtype=np.float64)
+                        )
+            else:
+                # Row-at-a-time keeps scratch memory linear in block size.
+                for ai in range(size - 1):
+                    left_idx = int(members_arr[ai])
+                    tail = members_arr[ai + 1 :]
+                    if focus_mask is not None and not focus_mask[left_idx]:
+                        tail = tail[focus_mask[tail]]
+                        if not tail.size:
+                            continue
+                    keys = left_idx * n + tail
+                    key_segments.append(keys)
+                    if need_arcs:
+                        value_segments.append(
+                            np.full(keys.size, reciprocal, dtype=np.float64)
+                        )
+        flush_scalar()
+
+        if not key_segments:
+            self._edge_keys = np.empty(0, dtype=np.int64)
+            self._edge_stats = (
+                np.empty(0, dtype=np.float64) if need_arcs else np.empty(0, dtype=np.int64)
+            )
+            return
+        all_keys = np.concatenate(key_segments)
+        unique_keys, first_seen, inverse = np.unique(
+            all_keys, return_index=True, return_inverse=True
+        )
+        # Re-order the reduced edges into first-visit order — the order
+        # the baseline's dict would iterate them in.
+        insertion = np.argsort(first_seen)
+        if need_arcs:
+            sums = np.zeros(len(unique_keys), dtype=np.float64)
+            # Unbuffered in-order accumulation: per-key float additions
+            # happen in pair-visit order, exactly like the scalar loop.
+            np.add.at(sums, inverse, np.concatenate(value_segments))
+            self._edge_stats = sums[insertion]
+        else:
+            self._edge_stats = np.bincount(inverse, minlength=len(unique_keys))[insertion]
+        self._edge_keys = unique_keys[insertion]
+
+    # -- unpacked construction --------------------------------------------
+    def _build_unpacked(self, collection: BlockCollection, focus: Optional[Set[Any]]) -> None:
         # Per-entity block membership counts and per-pair shared stats.
         entity_blocks: Dict[Any, int] = {}
         shared_blocks: Dict[Tuple[Any, Any], int] = {}
         shared_arcs: Dict[Tuple[Any, Any], float] = {}
         for block in collection:
-            members = _safe_sorted(block.entities)
+            members = safe_sorted(block.entities)
             reciprocal = 1.0 / block.cardinality if block.cardinality else 0.0
             for entity in members:
                 entity_blocks[entity] = entity_blocks.get(entity, 0) + 1
@@ -93,43 +308,164 @@ class BlockingGraph:
         self._shared_blocks = shared_blocks
         self._shared_arcs = shared_arcs
 
+    # -- accessors ---------------------------------------------------------
     def __len__(self) -> int:
+        if self.packed:
+            return len(self._edge_keys)
         return len(self._shared_blocks)
 
     def nodes(self) -> Set[Any]:
+        if self.packed:
+            return set(self._universe)
         return set(self._entity_blocks)
+
+    def _entity_boosts(self) -> List[float]:
+        """Per-entity ECBS log boosts, computed once (bulk) per graph."""
+        total = self._block_count
+        return [
+            math.log(total / count) if count else 0.0 for count in self._block_counts
+        ]
+
+    def _packed_weights(self):
+        """Per-edge weights in edge order, computed in bulk per scheme.
+
+        Memoized: the graph is immutable after construction and WEP
+        needs the array twice (average, then filter).
+        """
+        if self._weights_memo is None:
+            self._weights_memo = self._compute_packed_weights()
+        return self._weights_memo
+
+    def _compute_packed_weights(self):
+        stats = self._edge_stats
+        if self.scheme is WeightingScheme.ARCS:
+            return stats
+        if self.scheme is WeightingScheme.CBS:
+            if _np is not None and isinstance(stats, _np.ndarray):
+                return stats.astype(_np.float64)
+            return [float(common) for common in stats]
+        keys = self._edge_keys
+        n = self._n
+        if _np is not None and isinstance(stats, _np.ndarray):
+            left = keys // n
+            right = keys % n
+            counts = _np.asarray(self._block_counts, dtype=_np.int64)
+            if self.scheme is WeightingScheme.JS:
+                union = counts[left] + counts[right] - stats
+                with _np.errstate(divide="ignore", invalid="ignore"):
+                    weights = _np.where(union != 0, stats / union, 0.0)
+                return weights
+            # ECBS — math.log per entity (not np.log: bit-identical to
+            # the scalar baseline), bulk multiply per edge.
+            boosts = _np.asarray(self._entity_boosts(), dtype=_np.float64)
+            boost_left = boosts[left]
+            boost_right = boosts[right]
+            weights = stats * boost_left * boost_right
+            degenerate = (boost_left <= 0.0) | (boost_right <= 0.0)
+            return _np.where(degenerate, stats.astype(_np.float64), weights)
+        block_counts = self._block_counts
+        if self.scheme is WeightingScheme.JS:
+            weights = []
+            for key, common in zip(keys, stats):
+                left, right = divmod(key, n)
+                union = block_counts[left] + block_counts[right] - common
+                weights.append(common / union if union else 0.0)
+            return weights
+        boosts = self._entity_boosts()
+        weights = []
+        for key, common in zip(keys, stats):
+            left, right = divmod(key, n)
+            boost_left = boosts[left]
+            boost_right = boosts[right]
+            if boost_left <= 0.0 or boost_right <= 0.0:
+                weights.append(float(common))
+            else:
+                weights.append(common * boost_left * boost_right)
+        return weights
+
+    def _positions(self) -> Dict[int, int]:
+        """Packed key → edge position, built lazily for point lookups."""
+        positions = self._edge_positions
+        if positions is None:
+            keys = self._edge_keys
+            if _np is not None and isinstance(keys, _np.ndarray):
+                keys = keys.tolist()
+            positions = {key: i for i, key in enumerate(keys)}
+            self._edge_positions = positions
+        return positions
 
     def weight(self, a: Any, b: Any) -> float:
         """Edge weight of pair ``(a, b)`` under the configured scheme."""
-        pair = _ordered(a, b)
+        if self.packed:
+            ia = self._index_of.get(a)
+            ib = self._index_of.get(b)
+            if ia is None or ib is None:
+                return 0.0
+            if ia > ib:
+                ia, ib = ib, ia
+            position = self._positions().get(ia * self._n + ib)
+            if position is None:
+                return 0.0
+            stat = self._edge_stats[position]
+            if self.scheme is WeightingScheme.ARCS:
+                return float(stat)
+            common = int(stat)
+            return self._scheme_weight(
+                common, self._block_counts[ia], self._block_counts[ib], 0.0
+            )
+        pair = ordered_pair(a, b)
         common = self._shared_blocks.get(pair, 0)
         if common == 0:
             return 0.0
+        return self._scheme_weight(
+            common,
+            self._entity_blocks[pair[0]],
+            self._entity_blocks[pair[1]],
+            self._shared_arcs.get(pair, 0.0),
+        )
+
+    def _scheme_weight(self, common: int, blocks_a: int, blocks_b: int, arcs: float) -> float:
         if self.scheme is WeightingScheme.CBS:
             return float(common)
         if self.scheme is WeightingScheme.ECBS:
             total = self._block_count
-            boost_a = math.log(total / self._entity_blocks[pair[0]]) if total else 0.0
-            boost_b = math.log(total / self._entity_blocks[pair[1]]) if total else 0.0
+            boost_a = math.log(total / blocks_a) if total else 0.0
+            boost_b = math.log(total / blocks_b) if total else 0.0
             # Guard degenerate single-block collections: keep CBS ordering.
             if boost_a <= 0.0 or boost_b <= 0.0:
                 return float(common)
             return common * boost_a * boost_b
         if self.scheme is WeightingScheme.JS:
-            union = self._entity_blocks[pair[0]] + self._entity_blocks[pair[1]] - common
+            union = blocks_a + blocks_b - common
             return common / union if union else 0.0
         if self.scheme is WeightingScheme.ARCS:
-            return self._shared_arcs[pair]
+            return arcs
         raise AssertionError(f"unhandled scheme {self.scheme!r}")
+
+    def _unpack(self, key: int) -> Tuple[Any, Any]:
+        left, right = divmod(key, self._n)
+        universe = self._universe
+        return universe[left], universe[right]
 
     def edges(self) -> Iterator[Tuple[Any, Any, float]]:
         """Iterate ``(a, b, weight)`` over all edges.
 
-        ARCS and CBS weights are exactly the per-pair accumulators built
-        during construction, so those schemes iterate the maps directly —
-        the generic ``weight()`` path costs three dict lookups per edge
-        and dominates meta-blocking time on large graphs.
+        Weights come from the bulk per-scheme computation in edge
+        (first-visit) order; the unpacked graph keeps the original
+        per-pair paths.
         """
+        if self.packed:
+            keys = self._edge_keys
+            weights = self._packed_weights()
+            if _np is not None and isinstance(keys, _np.ndarray):
+                keys = keys.tolist()
+                weights = weights.tolist() if isinstance(weights, _np.ndarray) else weights
+            universe = self._universe
+            n = self._n
+            for key, weight in zip(keys, weights):
+                left, right = divmod(key, n)
+                yield universe[left], universe[right], float(weight)
+            return
         if self.scheme is WeightingScheme.ARCS:
             for (a, b), w in self._shared_arcs.items():
                 yield a, b, w
@@ -142,20 +478,55 @@ class BlockingGraph:
             yield a, b, self.weight(a, b)
 
     def average_weight(self) -> float:
-        """Mean edge weight — WEP's global pruning criterion."""
-        if not self._shared_blocks:
+        """Mean edge weight — WEP's global pruning criterion.
+
+        Summation runs left-to-right over edges in first-visit order on
+        both the packed and unpacked paths, so the threshold is the same
+        float either way.
+        """
+        edge_count = len(self)
+        if not edge_count:
             return 0.0
+        if self.packed:
+            weights = self._packed_weights()
+            if _np is not None and isinstance(weights, _np.ndarray):
+                # Sequential Python sum, not np.sum: pairwise summation
+                # would round differently from the baseline.
+                weights = weights.tolist()
+            return sum(weights) / edge_count
         if self.scheme is WeightingScheme.ARCS:
-            return sum(self._shared_arcs.values()) / len(self._shared_arcs)
+            return sum(self._shared_arcs.values()) / edge_count
         if self.scheme is WeightingScheme.CBS:
-            return sum(self._shared_blocks.values()) / len(self._shared_blocks)
-        return sum(w for _, _, w in self.edges()) / len(self._shared_blocks)
+            return sum(self._shared_blocks.values()) / edge_count
+        return sum(w for _, _, w in self.edges()) / edge_count
+
+    def retained_pairs(self, threshold: float) -> Set[Tuple[Any, Any]]:
+        """Canonical pairs whose weight is at or above *threshold*.
+
+        The packed path filters the weight array in bulk and only
+        unpacks the survivors; equivalent to filtering :meth:`edges`.
+        """
+        if self.packed:
+            keys = self._edge_keys
+            weights = self._packed_weights()
+            if _np is not None and isinstance(keys, _np.ndarray):
+                if not isinstance(weights, _np.ndarray):
+                    weights = _np.asarray(weights, dtype=_np.float64)
+                selected = keys[weights >= threshold].tolist()
+            else:
+                selected = [
+                    key for key, weight in zip(keys, weights) if weight >= threshold
+                ]
+            unpack = self._unpack
+            return {unpack(key) for key in selected}
+        return {(a, b) for a, b, w in self.edges() if w >= threshold}
 
 
 def edge_pruning(
     collection: BlockCollection,
     scheme: WeightingScheme = WeightingScheme.ARCS,
     focus: Optional[Set[Any]] = None,
+    packed: bool = True,
 ) -> Set[Tuple[Any, Any]]:
     """Weighted Edge Pruning: return the retained comparison pairs.
 
@@ -166,9 +537,8 @@ def edge_pruning(
     graph (and therefore the average-weight threshold) is restricted to
     focus-incident edges — the only edges the caller will execute.
     """
-    graph = BlockingGraph(collection, scheme=scheme, focus=focus)
-    threshold = graph.average_weight()
-    return {(a, b) for a, b, w in graph.edges() if w >= threshold}
+    graph = BlockingGraph(collection, scheme=scheme, focus=focus, packed=packed)
+    return graph.retained_pairs(graph.average_weight())
 
 
 def pairs_to_blocks(pairs: Iterable[Tuple[Any, Any]]) -> BlockCollection:

@@ -32,6 +32,10 @@ class MetaBlockingConfig:
     smoothing_factor: float = SMOOTHING_FACTOR
     filter_ratio: float = DEFAULT_RATIO
     weighting: WeightingScheme = WeightingScheme.ARCS
+    #: Use the array-based (packed) blocking-graph build.  Observationally
+    #: identical to the unpacked build; off only for perf baselines and
+    #: the fast-path equivalence tests.
+    packed_graph: bool = True
 
     @classmethod
     def all(cls) -> "MetaBlockingConfig":
@@ -89,6 +93,8 @@ def apply_meta_blocking(
     if config.filtering:
         current = block_filtering(current, ratio=config.filter_ratio)
     if config.pruning:
-        retained = edge_pruning(current, scheme=config.weighting, focus=focus)
+        retained = edge_pruning(
+            current, scheme=config.weighting, focus=focus, packed=config.packed_graph
+        )
         current = pairs_to_blocks(retained)
     return current

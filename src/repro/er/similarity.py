@@ -7,7 +7,8 @@ Jaro-Winkler (§9.1); the others back schema-based alternatives and tests.
 
 from __future__ import annotations
 
-from typing import Iterable, Set
+from functools import lru_cache
+from typing import Iterable, Mapping, Set
 
 
 def levenshtein(a: str, b: str) -> int:
@@ -77,6 +78,94 @@ def jaro(a: str, b: str) -> float:
     return (m / len_a + m / len_b + (m - transpositions) / m) / 3.0
 
 
+#: Above this ``len(a) * len(b)`` product the indexed Jaro implementation
+#: beats the windowed scan (chosen empirically; both are bit-identical).
+_JARO_INDEXED_CUTOFF = 900
+
+
+@lru_cache(maxsize=8192)
+def _char_positions(s: str) -> dict:
+    """Character → ascending position list of *s* (read-only, memoized).
+
+    Attribute values recur across many comparisons, so the per-string
+    index is worth caching; the bound keeps memory flat under sustained
+    traffic.  Callers must not mutate the returned lists.
+    """
+    positions: dict = {}
+    for j, ch in enumerate(s):
+        plist = positions.get(ch)
+        if plist is None:
+            positions[ch] = [j]
+        else:
+            plist.append(j)
+    return positions
+
+
+def jaro_fast(a: str, b: str) -> float:
+    """Bit-identical :func:`jaro`, faster on long strings.
+
+    For long inputs the O(len_a · window) inner scan is replaced by
+    per-character position lists with monotone pointers: the window's
+    lower bound only ever grows, so positions left behind (or already
+    matched) are skipped permanently and each position of *b* is passed
+    at most once.  The greedy match selection — smallest unmatched
+    in-window position of the same character — is exactly the scan's, so
+    match flags, transposition count and the final float are identical.
+
+    The Comparison-Execution fast path uses this variant; :func:`jaro`
+    keeps the original implementation as the measured baseline.
+    """
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    if len_a * len_b <= _JARO_INDEXED_CUTOFF:
+        return jaro(a, b)
+    window = max(len_a, len_b) // 2 - 1
+    if window < 0:
+        window = 0
+    positions = _char_positions(b)
+    pointers: dict = {}
+    matched_a = [False] * len_a
+    matched_b = [False] * len_b
+    matches = 0
+    for i, ch in enumerate(a):
+        plist = positions.get(ch)
+        if plist is None:
+            continue
+        k = pointers.get(ch, 0)
+        plen = len(plist)
+        lo = i - window
+        while k < plen:
+            j = plist[k]
+            if j >= lo and not matched_b[j]:
+                break
+            k += 1
+        pointers[ch] = k
+        if k < plen:
+            j = plist[k]
+            if j <= i + window:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                pointers[ch] = k + 1
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len_a):
+        if matched_a[i]:
+            while not matched_b[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    m = float(matches)
+    return (m / len_a + m / len_b + (m - transpositions) / m) / 3.0
+
+
 def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
     """Jaro-Winkler: Jaro boosted by the length of the common prefix.
 
@@ -91,6 +180,128 @@ def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4)
             break
         prefix += 1
     return base + prefix * prefix_scale * (1.0 - base)
+
+
+def jaro_winkler_fast(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
+    """:func:`jaro_winkler` on the :func:`jaro_fast` base — bit-identical."""
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must be within [0, 0.25]")
+    base = jaro_fast(a, b)
+    prefix = 0
+    for ca, cb in zip(a[:max_prefix], b[:max_prefix]):
+        if ca != cb:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def jaccard_sorted_ids(a, b) -> float:
+    """Jaccard of two *sorted, de-duplicated* sequences (e.g. token ids).
+
+    A single merge pass — no set copies — returning the bit-identical
+    float ``jaccard(set(a), set(b))`` would: intersection and union
+    cardinalities are the same integers, divided once.
+    """
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 and len_b == 0:
+        return 1.0
+    intersection = 0
+    i = j = 0
+    while i < len_a and j < len_b:
+        x = a[i]
+        y = b[j]
+        if x == y:
+            intersection += 1
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return intersection / (len_a + len_b - intersection)
+
+
+def jaro_winkler_bound(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
+    """Cheap upper bound on ``jaro_winkler(a, b)`` from lengths + prefix.
+
+    Jaro's match count *m* is at most ``min(len_a, len_b)``, so with
+    ``s = min``, ``l = max``::
+
+        jaro ≤ (m/len_a + m/len_b + (m - t)/m) / 3 ≤ (1 + s/l + 1) / 3
+
+    and Jaro-Winkler is monotone in both the Jaro base and the actual
+    common-prefix length, giving the bound below.  This is the simple
+    length-only reference bound; the matcher's cascade uses the tighter
+    :func:`jaro_winkler_char_bound` (which incorporates this cap).
+    Callers must compare against their threshold with a small slack
+    (the cascade uses 1e-9) so float rounding can never flip a
+    borderline decision.
+    """
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        # Exact values, not bounds: jaro() returns 1.0 for two empty
+        # strings and 0.0 when exactly one side is empty.
+        return 1.0 if len_a == len_b else 0.0
+    shorter, longer = (len_a, len_b) if len_a <= len_b else (len_b, len_a)
+    jaro_ub = (2.0 + shorter / longer) / 3.0
+    prefix = 0
+    for ca, cb in zip(a[:max_prefix], b[:max_prefix]):
+        if ca != cb:
+            break
+        prefix += 1
+    return jaro_ub + prefix * prefix_scale * (1.0 - jaro_ub)
+
+
+def jaro_winkler_char_bound(
+    a: str,
+    b: str,
+    counts_a: Mapping[str, int],
+    counts_b: Mapping[str, int],
+    prefix_scale: float = 0.1,
+    max_prefix: int = 4,
+) -> float:
+    """Tighter Jaro-Winkler upper bound using character multisets.
+
+    Jaro's matched characters pair identical characters injectively, so
+    the match count *m* is at most the multiset character intersection
+    ``Σ_c min(count_a(c), count_b(c))`` — and at most ``min(len_a,
+    len_b)``.  ``jaro ≤ (m/len_a + m/len_b + 1) / 3`` is increasing in
+    *m*, so either cap yields a sound bound; we take the smaller.  With
+    zero common characters the bound is the *exact* value 0.0 (no
+    matches also forces a zero Winkler prefix).
+
+    *counts_a* / *counts_b* are the strings' character→count maps,
+    precomputed once per profile signature so the per-pair cost is one
+    pass over the smaller map instead of Jaro's O(len_a·len_b) window
+    scan.
+    """
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        # Exact values: jaro() returns 1.0 for two empty strings and 0.0
+        # when exactly one side is empty.
+        return 1.0 if len_a == len_b else 0.0
+    if len(counts_a) <= len(counts_b):
+        smaller, larger = counts_a, counts_b
+    else:
+        smaller, larger = counts_b, counts_a
+    matches = 0
+    get = larger.get
+    for char, count in smaller.items():
+        other = get(char, 0)
+        matches += count if count <= other else other
+    if matches == 0:
+        return 0.0
+    jaro_ub = (matches / len_a + matches / len_b + 1.0) / 3.0
+    shorter, longer = (len_a, len_b) if len_a <= len_b else (len_b, len_a)
+    length_ub = (2.0 + shorter / longer) / 3.0
+    if length_ub < jaro_ub:
+        jaro_ub = length_ub
+    prefix = 0
+    for ca, cb in zip(a[:max_prefix], b[:max_prefix]):
+        if ca != cb:
+            break
+        prefix += 1
+    return jaro_ub + prefix * prefix_scale * (1.0 - jaro_ub)
 
 
 def jaccard(a: Iterable, b: Iterable) -> float:

@@ -10,7 +10,7 @@ purely-numeric noise below a minimum length.
 from __future__ import annotations
 
 import re
-from typing import Any, Iterable, List, Mapping, Set
+from typing import Any, Dict, Iterable, List, Mapping, Set, Tuple
 
 _TOKEN_SPLIT = re.compile(r"[^0-9a-z]+")
 
@@ -54,3 +54,50 @@ def tokenize_entity(
             continue
         tokens.update(tokenize_value(value, min_length=min_length))
     return tokens
+
+
+class TokenVocabulary:
+    """Bijective token-string ↔ integer-id interning table.
+
+    Every distinct token is assigned a dense integer id exactly once;
+    profile signatures and the blocking-graph fast path then work on
+    int arrays instead of repeated string hashing.  Grown incrementally —
+    registration interns a table's tokens lazily and ``INSERT`` batches
+    intern only what their rows introduce.
+    """
+
+    __slots__ = ("_ids", "_tokens")
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._tokens: List[str] = []
+
+    def intern(self, token: str) -> int:
+        """The id of *token*, assigning a fresh one on first sight."""
+        token_id = self._ids.get(token)
+        if token_id is None:
+            token_id = len(self._tokens)
+            self._ids[token] = token_id
+            self._tokens.append(token)
+        return token_id
+
+    def intern_all(self, tokens: Iterable[str]) -> Tuple[int, ...]:
+        """Sorted, de-duplicated ids of *tokens* (a signature's array)."""
+        intern = self.intern
+        return tuple(sorted({intern(token) for token in tokens}))
+
+    def token_of(self, token_id: int) -> str:
+        return self._tokens[token_id]
+
+    def id_of(self, token: str) -> int:
+        """The id of an already-interned token (KeyError when unknown)."""
+        return self._ids[token]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._ids
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __repr__(self) -> str:
+        return f"TokenVocabulary({len(self._tokens)} tokens)"

@@ -38,12 +38,17 @@ class IngestResult:
     invalidated: int
     policy: InvalidationPolicy
     elapsed: float
+    #: How many tokens this batch added to the table's interned
+    #: vocabulary (the Comparison-Execution fast path's dictionary) —
+    #: maintained delta-wise, never rebuilt.
+    interned_tokens: int = 0
 
     def __repr__(self) -> str:
         return (
             f"IngestResult({self.table!r}, +{self.inserted} rows, "
             f"{self.touched_blocks} blocks touched, "
-            f"{self.invalidated} un-resolved, {self.elapsed:.4f}s)"
+            f"{self.invalidated} un-resolved, "
+            f"+{self.interned_tokens} tokens, {self.elapsed:.4f}s)"
         )
 
 
@@ -83,6 +88,7 @@ class IndexMaintainer:
         table = index.table
         full_rows = self._project_to_schema(table, rows, columns)
         appended: List[Row] = table.append_rows(full_rows)
+        vocabulary_before = len(index.vocabulary)
         delta = index.add_records([row.id for row in appended])
         invalidated = self._invalidate_link_index(index, delta)
         self.engine.note_appended(table.name, len(appended))
@@ -94,6 +100,7 @@ class IndexMaintainer:
             invalidated=invalidated,
             policy=self.policy,
             elapsed=time.perf_counter() - start,
+            interned_tokens=len(index.vocabulary) - vocabulary_before,
         )
 
     # -- steps -----------------------------------------------------------
