@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core.engine import QueryEREngine
 from repro.core.planner import ExecutionMode
 from repro.datagen.ground_truth import GroundTruth
+from repro.parallel import ExecutionConfig
 from repro.storage.table import Table
 
 
@@ -46,8 +47,15 @@ def fresh_engine(
 
     ``sample_stats`` defaults to False in benchmarks — load-time
     statistics are measured separately so per-query numbers stay clean.
+    ``execution`` defaults to strictly serial: the paper-reproduction
+    benchmarks assert stage shares and relative timings of the serial
+    pipeline, which worker-pool scheduling overhead would distort
+    (parallel scaling has its own harness,
+    :mod:`repro.bench.parallel_scaling`); results are bit-identical
+    either way.
     """
     engine_kwargs.setdefault("sample_stats", False)
+    engine_kwargs.setdefault("execution", ExecutionConfig.serial())
     engine = QueryEREngine(**engine_kwargs)
     for item in tables:
         table = item[0] if isinstance(item, tuple) else item

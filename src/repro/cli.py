@@ -23,6 +23,13 @@ from repro.core.planner import ExecutionMode
 from repro.storage.csv_io import read_csv
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -49,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="schema-agnostic match threshold in [0, 1] (default: 0.75)",
     )
     parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="parallel Comparison-Execution workers (default: auto-detect; "
+        "1 forces serial; results are identical either way)",
+    )
+    parser.add_argument(
         "--explain",
         action="store_true",
         help="print the chosen plan instead of executing",
@@ -69,7 +84,7 @@ def run(argv: Optional[Sequence[str]] = None, output=None) -> int:
         print("error: at least one --csv table is required", file=sys.stderr)
         return 2
 
-    engine = QueryEREngine(match_threshold=args.threshold)
+    engine = QueryEREngine(match_threshold=args.threshold, execution=args.workers)
     for spec in args.csv:
         name, _, path = spec.rpartition("=")
         table = read_csv(path or spec, name=name or None)

@@ -19,7 +19,7 @@ Two refinements beyond the pseudocode, both paper-faithful:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Set, Tuple
 
 from repro.core.indices import TableIndex
 from repro.core.result import DedupResult
@@ -28,6 +28,9 @@ from repro.er.util import safe_sorted
 from repro.er.matching import ProfileMatcher
 from repro.er.meta_blocking import MetaBlockingConfig, apply_meta_blocking
 from repro.sql.physical import ExecutionContext
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.parallel.executor import ParallelComparisonExecutor
 
 
 @dataclass
@@ -63,6 +66,12 @@ class DeduplicateOperator:
     transitive:
         Feed newly found duplicates back as a new frontier (see module
         docstring).
+    executor:
+        Optional :class:`~repro.parallel.executor.ParallelComparisonExecutor`:
+        blocking-graph construction and pair matching above its
+        configured thresholds run partitioned on its worker pool, with a
+        deterministic merge keeping results bit-identical to serial.  It
+        also serves/stores cached candidate plans for repeated frontiers.
     """
 
     def __init__(
@@ -73,6 +82,7 @@ class DeduplicateOperator:
         use_link_index: bool = True,
         transitive: bool = True,
         collect_candidates: bool = False,
+        executor: Optional["ParallelComparisonExecutor"] = None,
     ):
         self.index = index
         self.matcher = matcher or ProfileMatcher(exclude=(index.table.schema.id_column,))
@@ -80,6 +90,7 @@ class DeduplicateOperator:
         self.use_link_index = use_link_index
         self.transitive = transitive
         self.collect_candidates = collect_candidates
+        self.executor = executor
 
     # -- public API ------------------------------------------------------
     def deduplicate(
@@ -151,51 +162,110 @@ class DeduplicateOperator:
         stats: DedupStats,
     ) -> Set[Any]:
         """One pipeline pass over *frontier*; returns newly linked ids."""
-        # (i) Query Blocking — QBI over the frontier.
-        with context.timed("block-join"):
-            qbi = self.index.query_block_index(frontier)
-            stats.qbi_blocks = max(stats.qbi_blocks, len(qbi))
-            # (ii) Block-Join — enrich with co-occurring table entities.
-            eqbi = self.index.block_join(qbi)
-        stats.eqbi_blocks = max(stats.eqbi_blocks, len(eqbi))
-        stats.eqbi_comparisons_before += eqbi.cardinality
-
-        # (iii) Meta-Blocking — BP → BF → EP, with the Edge-Pruning
-        # graph scoped to frontier-incident edges (the only comparisons
-        # the next stage executes, §6.1(iv)).
-        with context.timed("meta-blocking"):
-            refined = apply_meta_blocking(eqbi, self.meta_blocking, focus=frontier)
-        stats.eqbi_comparisons_after += refined.cardinality
+        pairs = self._candidate_pairs(frontier, compared, context, stats)
 
         # (iv) Comparison-Execution — QE-side pairs only, each pair once.
         # Pairs are compared through cached profile signatures (interned
         # token arrays + normalized strings) so the matcher's cascade can
         # short-circuit; decisions stay bit-identical to the raw
-        # attribute path.
+        # attribute path.  Above the configured threshold the executor
+        # shards the pair list across its worker pool; each decision is a
+        # pure function of the two signatures, so the deterministically
+        # merged match set equals the serial one.
         newly_found: Set[Any] = set()
         with context.timed("resolution"):
-            signature_of = self.index.signature_of
-            match = self.matcher.match_signatures
-            for block in refined:
-                members = safe_sorted(block.entities)
-                for i, left in enumerate(members):
-                    for right in members[i + 1 :]:
-                        if left not in frontier and right not in frontier:
-                            continue  # only resolve the current selection
-                        pair = canonical_pair(left, right)
-                        if pair in compared:
-                            continue  # comparisons in multiple blocks run once
-                        compared.add(pair)
-                        if self.collect_candidates:
-                            stats.candidate_pairs.append(pair)
-                        context.comparisons += 1
-                        stats.executed_comparisons += 1
-                        if match(signature_of(left), signature_of(right)):
-                            links.add(left, right)
-                            stats.matches_found += 1
-                            newly_found.add(left)
-                            newly_found.add(right)
+            if self.collect_candidates:
+                stats.candidate_pairs.extend(pairs)
+            context.comparisons += len(pairs)
+            stats.executed_comparisons += len(pairs)
+            executor = self.executor
+            if executor is not None and executor.should_parallelize_pairs(len(pairs)):
+                for position in executor.match_pairs(self.index, self.matcher, pairs):
+                    left, right = pairs[position]
+                    links.add(left, right)
+                    stats.matches_found += 1
+                    newly_found.add(left)
+                    newly_found.add(right)
+            else:
+                signature_of = self.index.signature_of
+                match = self.matcher.match_signatures
+                for left, right in pairs:
+                    if match(signature_of(left), signature_of(right)):
+                        links.add(left, right)
+                        stats.matches_found += 1
+                        newly_found.add(left)
+                        newly_found.add(right)
         return newly_found
+
+    def _candidate_pairs(
+        self,
+        frontier: Set[Any],
+        compared: Set[Tuple[Any, Any]],
+        context: ExecutionContext,
+        stats: DedupStats,
+    ) -> List[Tuple[Any, Any]]:
+        """The frontier's canonical candidate-pair list, not yet compared.
+
+        Stages (i)–(iii) of the pipeline.  The pre-``compared`` plan —
+        a pure function of (table version, frontier, meta-blocking
+        configuration) — is served from the executor's candidate-plan
+        cache when the same frontier repeats; the engine invalidates
+        that cache on every append, so a plan can never miss pairs
+        involving freshly ingested rows.  On a cache hit the block-join
+        and meta-blocking stages are skipped entirely (their stats
+        counters then record only the plan-building pass).
+        """
+        executor = self.executor
+        table_name = self.index.table.name
+        raw: Optional[List[Tuple[Any, Any]]] = None
+        if executor is not None:
+            raw = executor.cached_candidates(table_name, frontier, self.meta_blocking)
+        if raw is None:
+            # (i) Query Blocking — QBI over the frontier.
+            with context.timed("block-join"):
+                qbi = self.index.query_block_index(frontier)
+                stats.qbi_blocks = max(stats.qbi_blocks, len(qbi))
+                # (ii) Block-Join — enrich with co-occurring table entities.
+                eqbi = self.index.block_join(qbi)
+            stats.eqbi_blocks = max(stats.eqbi_blocks, len(eqbi))
+            stats.eqbi_comparisons_before += eqbi.cardinality
+
+            # (iii) Meta-Blocking — BP → BF → EP, with the Edge-Pruning
+            # graph scoped to frontier-incident edges (the only comparisons
+            # the next stage executes, §6.1(iv)).
+            with context.timed("meta-blocking"):
+                refined = apply_meta_blocking(
+                    eqbi, self.meta_blocking, focus=frontier, executor=executor
+                )
+            stats.eqbi_comparisons_after += refined.cardinality
+
+            # Pair enumeration is Comparison-Execution work and is
+            # timed as such (the pre-subsystem code enumerated pairs
+            # inside the resolution loop).
+            with context.timed("resolution"):
+                raw = []
+                seen: Set[Tuple[Any, Any]] = set()
+                for block in refined:
+                    members = safe_sorted(block.entities)
+                    for i, left in enumerate(members):
+                        for right in members[i + 1 :]:
+                            if left not in frontier and right not in frontier:
+                                continue  # only resolve the current selection
+                            pair = canonical_pair(left, right)
+                            if pair in seen:
+                                continue  # comparisons in multiple blocks run once
+                            seen.add(pair)
+                            raw.append(pair)
+            if executor is not None:
+                executor.store_candidates(table_name, frontier, self.meta_blocking, raw)
+
+        with context.timed("resolution"):
+            if compared:
+                pairs = [pair for pair in raw if pair not in compared]
+            else:
+                pairs = list(raw)  # never alias the cached plan
+            compared.update(pairs)
+        return pairs
 
     @staticmethod
     def _closure(links: LinkSet, query_set: Set[Any]) -> Set[Any]:

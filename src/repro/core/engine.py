@@ -31,6 +31,7 @@ from repro.core.statistics import TableStatistics, join_percentage
 from repro.er.matching import DEFAULT_THRESHOLD, ProfileMatcher
 from repro.er.meta_blocking import MetaBlockingConfig
 from repro.incremental import DmlExecutor, IndexMaintainer, IngestResult, InvalidationPolicy
+from repro.parallel import ExecutionConfig, ParallelComparisonExecutor
 from repro.sql import ast
 from repro.sql.executor import QueryResult, execute_plan
 from repro.sql.parser import parse
@@ -62,6 +63,14 @@ class QueryEREngine:
         How ``INSERT INTO`` revokes progressive-cleaning state: the
         targeted per-cluster policy (default) or a full LI reset — see
         :mod:`repro.incremental`.
+    execution:
+        Parallel-execution configuration
+        (:class:`~repro.parallel.ExecutionConfig`), or a plain int as
+        shorthand for ``ExecutionConfig(workers=N)``.  The default
+        auto-detects the worker count (``REPRO_WORKERS`` env var, else
+        the usable core count); on a single core — or below the
+        configured work thresholds — execution is exactly the serial
+        fast path.  Parallel DEDUP results are bit-identical to serial.
     """
 
     def __init__(
@@ -72,9 +81,19 @@ class QueryEREngine:
         transitive: bool = True,
         sample_stats: bool = True,
         invalidation_policy: Union[InvalidationPolicy, str] = InvalidationPolicy.TARGETED,
+        execution: Union[ExecutionConfig, int, None] = None,
     ):
         self.catalog = Catalog()
         self.meta_blocking = meta_blocking or MetaBlockingConfig.all()
+        if isinstance(execution, int):
+            execution = ExecutionConfig(workers=execution)
+        self.execution = execution or ExecutionConfig()
+        # No executor on single-worker configurations: the operator then
+        # runs the exact pre-subsystem serial path, with zero scheduling
+        # or caching layered on top.
+        self._parallel: Optional[ParallelComparisonExecutor] = (
+            ParallelComparisonExecutor(self.execution) if self.execution.parallel else None
+        )
         self.match_threshold = match_threshold
         self.use_link_index = use_link_index
         self.transitive = transitive
@@ -126,15 +145,20 @@ class QueryEREngine:
         """Drop every cached per-table artefact derived from *key*'s index."""
         self._statistics.pop(key, None)
         self._drop_join_percentages(key)
+        if self._parallel is not None:
+            self._parallel.invalidate_table(key)
 
     def note_appended(self, name: str, count: int) -> None:
         """Invalidate estimates after *count* rows were ingested into *name*.
 
         Called by the :class:`~repro.incremental.IndexMaintainer` as the
         statistics-refresh step: the duplication-factor sample is flagged
-        stale (recomputed lazily by :meth:`statistics_of`) and cached
-        join percentages involving the table are dropped (recomputed
-        lazily by :meth:`join_percentage`).
+        stale (recomputed lazily by :meth:`statistics_of`), cached join
+        percentages involving the table are dropped (recomputed lazily
+        by :meth:`join_percentage`), and the parallel executor's
+        candidate-plan cache revokes the table's partition plans — a
+        stale plan would make a parallel DEDUP after ``INSERT INTO``
+        silently skip comparisons involving the new rows.
         """
         if count <= 0:
             return
@@ -143,6 +167,8 @@ class QueryEREngine:
         if statistics is not None:
             statistics.mark_appended(count)
         self._drop_join_percentages(key)
+        if self._parallel is not None:
+            self._parallel.invalidate_table(key)
 
     def index_of(self, name: str) -> TableIndex:
         """The :class:`TableIndex` of a registered table."""
@@ -182,7 +208,13 @@ class QueryEREngine:
             meta_blocking=self.meta_blocking,
             use_link_index=self.use_link_index,
             transitive=self.transitive,
+            executor=self._parallel,
         )
+
+    @property
+    def parallel_executor(self) -> Optional[ParallelComparisonExecutor]:
+        """The engine's parallel executor (None on serial configurations)."""
+        return self._parallel
 
     def reset_link_indexes(self) -> None:
         """Forget all progressive-cleaning state (fresh-engine behaviour)."""
@@ -190,14 +222,17 @@ class QueryEREngine:
             index.link_index.clear()
 
     def clear_caches(self) -> None:
-        """Reset LIs *and* matcher memoization.
+        """Reset LIs, matcher memoization *and* parallel partition state.
 
         Benchmarks call this between measurements so no run inherits a
-        warm similarity cache from a previous one.
+        warm similarity cache — or a cached candidate-partition plan —
+        from a previous one.
         """
         self.reset_link_indexes()
         for matcher in self._matchers.values():
             matcher.clear_cache()
+        if self._parallel is not None:
+            self._parallel.invalidate()
 
     # -- ingestion -------------------------------------------------------------
     def insert(

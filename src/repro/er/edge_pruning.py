@@ -84,6 +84,222 @@ class WeightingScheme(enum.Enum):
     ARCS = "arcs"
 
 
+# -- partition-addressable construction helpers ------------------------------
+#
+# The packed build is split into *segment generation* (per-block work:
+# dense-index sorting, pair enumeration, focus filtering, key packing)
+# and *reduction* (per-pair weight-stat accumulation).  Generation is
+# embarrassingly parallel over contiguous block spans; reduction is a
+# single in-order pass.  The serial build and the parallel execution
+# subsystem (:mod:`repro.parallel`) both run through these helpers, so
+# a partitioned build concatenating per-span segments in block order is
+# *the same computation* as the serial one — bit for bit.
+
+
+def prepare_packed_universe(
+    collection: BlockCollection, focus: Optional[Set[Any]]
+) -> Tuple[List[Any], Dict[Any, int], Optional[bytearray]]:
+    """Entity universe, dense index mapping and focus mask of a build.
+
+    Entities are sorted once, globally: per-block integer sorts then
+    reproduce the unpacked build's per-block entity sorts, so pair visit
+    order — and therefore weight accumulation order and edge order — is
+    preserved exactly.
+    """
+    universe = safe_sorted(collection.entity_ids())
+    index_of: Dict[Any, int] = {entity: i for i, entity in enumerate(universe)}
+    if focus is None:
+        in_focus = None
+    else:
+        in_focus = bytearray(len(universe))
+        for entity in focus:
+            i = index_of.get(entity)
+            if i is not None:
+                in_focus[i] = 1
+    return universe, index_of, in_focus
+
+
+def generate_packed_segments(
+    blocks: Iterable[Block],
+    index_of: Dict[Any, int],
+    n: int,
+    in_focus: Optional[bytearray],
+    need_arcs: bool,
+    block_counts: List[int],
+) -> Tuple[List[Any], List[Any]]:
+    """NumPy path: packed pair-key (and ARCS value) segments for *blocks*.
+
+    Segments come back in block visit order; per-entity block membership
+    counts are accumulated into *block_counts* in place.  Runs of
+    scalar-built pairs from small blocks are flushed into array segments
+    whenever a vectorized block interleaves, preserving the global visit
+    order.
+    """
+    np = _np
+    focus_mask = (
+        None
+        if in_focus is None
+        else np.frombuffer(in_focus, dtype=np.uint8).view(np.bool_)
+    )
+    key_segments: List[Any] = []
+    value_segments: List[Any] = []
+    pending_keys: List[int] = []
+    pending_recips: List[float] = []
+
+    def flush_scalar() -> None:
+        if pending_keys:
+            key_segments.append(np.array(pending_keys, dtype=np.int64))
+            if need_arcs:
+                value_segments.append(np.array(pending_recips, dtype=np.float64))
+                pending_recips.clear()
+            pending_keys.clear()
+
+    for block in blocks:
+        size = block.size
+        if need_arcs:
+            cardinality = block.cardinality
+            reciprocal = 1.0 / cardinality if cardinality else 0.0
+        if size < _VECTOR_MIN_SIZE:
+            members = sorted([index_of[e] for e in block.entities])
+            for i in members:
+                block_counts[i] += 1
+            for ai in range(size):
+                left = members[ai]
+                base = left * n
+                tail = members[ai + 1 :]
+                if in_focus is not None and not in_focus[left]:
+                    tail = [right for right in tail if in_focus[right]]
+                for right in tail:
+                    pending_keys.append(base + right)
+                    if need_arcs:
+                        pending_recips.append(reciprocal)
+            continue
+        flush_scalar()
+        members_arr = np.fromiter(
+            (index_of[e] for e in block.entities), dtype=np.int64, count=size
+        )
+        members_arr.sort()
+        for i in members_arr.tolist():
+            block_counts[i] += 1
+        if size <= _VECTOR_TRIU_MAX:
+            ii, jj = _triu_indices(size)
+            left = members_arr[ii]
+            right = members_arr[jj]
+            keys = left * n + right
+            if focus_mask is not None:
+                keep = focus_mask[left] | focus_mask[right]
+                keys = keys[keep]
+            if keys.size:
+                key_segments.append(keys)
+                if need_arcs:
+                    value_segments.append(
+                        np.full(keys.size, reciprocal, dtype=np.float64)
+                    )
+        else:
+            # Row-at-a-time keeps scratch memory linear in block size.
+            for ai in range(size - 1):
+                left_idx = int(members_arr[ai])
+                tail = members_arr[ai + 1 :]
+                if focus_mask is not None and not focus_mask[left_idx]:
+                    tail = tail[focus_mask[tail]]
+                    if not tail.size:
+                        continue
+                keys = left_idx * n + tail
+                key_segments.append(keys)
+                if need_arcs:
+                    value_segments.append(
+                        np.full(keys.size, reciprocal, dtype=np.float64)
+                    )
+    flush_scalar()
+    return key_segments, value_segments
+
+
+def reduce_packed_segments(
+    key_segments: List[Any], value_segments: List[Any], need_arcs: bool
+) -> Tuple[Any, Any]:
+    """In-order reduction of generated segments to (edge_keys, edge_stats).
+
+    Edges come back in first-visit order — the order the unpacked
+    build's dict would iterate them in — and per-key accumulation
+    (``np.add.at`` is unbuffered and in-order) reproduces the unpacked
+    build's float additions exactly.
+    """
+    np = _np
+    if not key_segments:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64) if need_arcs else np.empty(0, dtype=np.int64),
+        )
+    all_keys = np.concatenate(key_segments)
+    unique_keys, first_seen, inverse = np.unique(
+        all_keys, return_index=True, return_inverse=True
+    )
+    insertion = np.argsort(first_seen)
+    if need_arcs:
+        sums = np.zeros(len(unique_keys), dtype=np.float64)
+        np.add.at(sums, inverse, np.concatenate(value_segments))
+        edge_stats = sums[insertion]
+    else:
+        edge_stats = np.bincount(inverse, minlength=len(unique_keys))[insertion]
+    return unique_keys[insertion], edge_stats
+
+
+def generate_packed_contributions(
+    blocks: Iterable[Block],
+    index_of: Dict[Any, int],
+    n: int,
+    in_focus: Optional[bytearray],
+    need_arcs: bool,
+    block_counts: List[int],
+) -> Tuple[List[int], List[float]]:
+    """Pure-Python twin of :func:`generate_packed_segments`.
+
+    Returns one (key, ARCS-reciprocal) contribution per pair visit, in
+    visit order, for the no-NumPy fallback.
+    """
+    keys: List[int] = []
+    values: List[float] = []
+    for block in blocks:
+        members = sorted([index_of[e] for e in block.entities])
+        for i in members:
+            block_counts[i] += 1
+        if need_arcs:
+            cardinality = block.cardinality
+            reciprocal = 1.0 / cardinality if cardinality else 0.0
+        count = len(members)
+        for ai in range(count):
+            left = members[ai]
+            base = left * n
+            tail = members[ai + 1 :]
+            if in_focus is not None and not in_focus[left]:
+                tail = [right for right in tail if in_focus[right]]
+            for right in tail:
+                keys.append(base + right)
+                if need_arcs:
+                    values.append(reciprocal)
+    return keys, values
+
+
+def fold_packed_contributions(
+    keys: List[int], values: List[float], need_arcs: bool
+) -> Tuple[List[int], List[Any]]:
+    """Visit-order fold of scalar contributions to (edge_keys, edge_stats).
+
+    Dict insertion order gives first-visit edge order and per-key
+    additions happen in visit order — identical to the direct
+    accumulation the serial scalar build performs.
+    """
+    stats: Dict[int, Any] = {}
+    stats_get = stats.get
+    if need_arcs:
+        for key, value in zip(keys, values):
+            stats[key] = stats_get(key, 0.0) + value
+    else:
+        for key in keys:
+            stats[key] = stats_get(key, 0) + 1
+    return list(stats), list(stats.values())
+
+
 class BlockingGraph:
     """Weighted co-occurrence graph of a block collection."""
 
@@ -111,26 +327,11 @@ class BlockingGraph:
 
     # -- packed construction ----------------------------------------------
     def _build_packed(self, collection: BlockCollection, focus: Optional[Set[Any]]) -> None:
-        # Entities sorted once, globally: per-block integer sorts then
-        # reproduce the unpacked build's per-block entity sorts, so pair
-        # visit order — and therefore weight accumulation order and edge
-        # order — is preserved exactly.
-        universe = safe_sorted(collection.entity_ids())
-        index_of: Dict[Any, int] = {entity: i for i, entity in enumerate(universe)}
-        n = len(universe)
-        block_counts = [0] * n
-        if focus is None:
-            in_focus = None
-        else:
-            in_focus = bytearray(n)
-            for entity in focus:
-                i = index_of.get(entity)
-                if i is not None:
-                    in_focus[i] = 1
+        universe, index_of, in_focus = prepare_packed_universe(collection, focus)
         self._universe = universe
         self._index_of = index_of
-        self._n = n
-        self._block_counts = block_counts
+        self._n = len(universe)
+        self._block_counts = [0] * self._n
         self._edge_positions: Optional[Dict[int, int]] = None
         self._weights_memo = None
         need_arcs = self.scheme is WeightingScheme.ARCS
@@ -139,150 +340,68 @@ class BlockingGraph:
         else:
             self._accumulate_scalar(collection, in_focus, need_arcs)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        scheme: WeightingScheme,
+        block_count: int,
+        universe: List[Any],
+        index_of: Dict[Any, int],
+        block_counts: List[int],
+        edge_keys: Any,
+        edge_stats: Any,
+    ) -> "BlockingGraph":
+        """A packed graph assembled from already-reduced edge arrays.
+
+        The parallel execution subsystem builds per-partition segments in
+        workers, reduces them in canonical block order, and hands the
+        result here; provided the reduction matches
+        :func:`reduce_packed_segments` / :func:`fold_packed_contributions`
+        over the same visit order, the graph is indistinguishable from a
+        serially-built one.
+        """
+        graph = cls.__new__(cls)
+        graph.scheme = scheme
+        graph.packed = True
+        graph._block_count = max(block_count, 1)
+        graph._universe = universe
+        graph._index_of = index_of
+        graph._n = len(universe)
+        graph._block_counts = block_counts
+        graph._edge_positions = None
+        graph._weights_memo = None
+        graph._edge_keys = edge_keys
+        graph._edge_stats = edge_stats
+        return graph
+
     def _accumulate_scalar(
         self, collection: BlockCollection, in_focus: Optional[bytearray], need_arcs: bool
     ) -> None:
-        """Pure-Python packed build: one int-keyed accumulator dict."""
-        n = self._n
-        index_of = self._index_of
-        block_counts = self._block_counts
-        stats: Dict[int, Any] = {}
-        stats_get = stats.get
-        for block in collection:
-            members = sorted([index_of[e] for e in block.entities])
-            for i in members:
-                block_counts[i] += 1
-            if need_arcs:
-                cardinality = block.cardinality
-                reciprocal = 1.0 / cardinality if cardinality else 0.0
-            count = len(members)
-            for ai in range(count):
-                left = members[ai]
-                base = left * n
-                tail = members[ai + 1 :]
-                if in_focus is not None and not in_focus[left]:
-                    tail = [right for right in tail if in_focus[right]]
-                if need_arcs:
-                    for right in tail:
-                        key = base + right
-                        stats[key] = stats_get(key, 0.0) + reciprocal
-                else:
-                    for right in tail:
-                        key = base + right
-                        stats[key] = stats_get(key, 0) + 1
-        self._edge_keys = list(stats)
-        self._edge_stats = list(stats.values())
+        """Pure-Python packed build, through the shared partition helpers.
+
+        Deliberately *not* a bespoke loop: the serial scalar build and
+        the parallel no-NumPy path must enumerate and fold identically,
+        so both run :func:`generate_packed_contributions` +
+        :func:`fold_packed_contributions` (one intermediate contribution
+        list is the price of a single source of truth).
+        """
+        keys, values = generate_packed_contributions(
+            collection, self._index_of, self._n, in_focus, need_arcs, self._block_counts
+        )
+        self._edge_keys, self._edge_stats = fold_packed_contributions(
+            keys, values, need_arcs
+        )
 
     def _accumulate_vectorized(
         self, collection: BlockCollection, in_focus: Optional[bytearray], need_arcs: bool
     ) -> None:
         """NumPy packed build: bulk pair generation + in-order reduction."""
-        np = _np
-        n = self._n
-        index_of = self._index_of
-        block_counts = self._block_counts
-        focus_mask = (
-            None
-            if in_focus is None
-            else np.frombuffer(in_focus, dtype=np.uint8).view(np.bool_)
+        key_segments, value_segments = generate_packed_segments(
+            collection, self._index_of, self._n, in_focus, need_arcs, self._block_counts
         )
-        # Pair keys (and, for ARCS, per-visit reciprocals) are collected
-        # as parallel array segments in block order; scalar-built runs
-        # from small blocks are flushed into segments whenever a
-        # vectorized block interleaves, preserving the global visit order.
-        key_segments: List[Any] = []
-        value_segments: List[Any] = []
-        pending_keys: List[int] = []
-        pending_recips: List[float] = []
-
-        def flush_scalar() -> None:
-            if pending_keys:
-                key_segments.append(np.array(pending_keys, dtype=np.int64))
-                if need_arcs:
-                    value_segments.append(np.array(pending_recips, dtype=np.float64))
-                    pending_recips.clear()
-                pending_keys.clear()
-
-        for block in collection:
-            size = block.size
-            if need_arcs:
-                cardinality = block.cardinality
-                reciprocal = 1.0 / cardinality if cardinality else 0.0
-            if size < _VECTOR_MIN_SIZE:
-                members = sorted([index_of[e] for e in block.entities])
-                for i in members:
-                    block_counts[i] += 1
-                for ai in range(size):
-                    left = members[ai]
-                    base = left * n
-                    tail = members[ai + 1 :]
-                    if in_focus is not None and not in_focus[left]:
-                        tail = [right for right in tail if in_focus[right]]
-                    for right in tail:
-                        pending_keys.append(base + right)
-                        if need_arcs:
-                            pending_recips.append(reciprocal)
-                continue
-            flush_scalar()
-            members_arr = np.fromiter(
-                (index_of[e] for e in block.entities), dtype=np.int64, count=size
-            )
-            members_arr.sort()
-            for i in members_arr.tolist():
-                block_counts[i] += 1
-            if size <= _VECTOR_TRIU_MAX:
-                ii, jj = _triu_indices(size)
-                left = members_arr[ii]
-                right = members_arr[jj]
-                keys = left * n + right
-                if focus_mask is not None:
-                    keep = focus_mask[left] | focus_mask[right]
-                    keys = keys[keep]
-                if keys.size:
-                    key_segments.append(keys)
-                    if need_arcs:
-                        value_segments.append(
-                            np.full(keys.size, reciprocal, dtype=np.float64)
-                        )
-            else:
-                # Row-at-a-time keeps scratch memory linear in block size.
-                for ai in range(size - 1):
-                    left_idx = int(members_arr[ai])
-                    tail = members_arr[ai + 1 :]
-                    if focus_mask is not None and not focus_mask[left_idx]:
-                        tail = tail[focus_mask[tail]]
-                        if not tail.size:
-                            continue
-                    keys = left_idx * n + tail
-                    key_segments.append(keys)
-                    if need_arcs:
-                        value_segments.append(
-                            np.full(keys.size, reciprocal, dtype=np.float64)
-                        )
-        flush_scalar()
-
-        if not key_segments:
-            self._edge_keys = np.empty(0, dtype=np.int64)
-            self._edge_stats = (
-                np.empty(0, dtype=np.float64) if need_arcs else np.empty(0, dtype=np.int64)
-            )
-            return
-        all_keys = np.concatenate(key_segments)
-        unique_keys, first_seen, inverse = np.unique(
-            all_keys, return_index=True, return_inverse=True
+        self._edge_keys, self._edge_stats = reduce_packed_segments(
+            key_segments, value_segments, need_arcs
         )
-        # Re-order the reduced edges into first-visit order — the order
-        # the baseline's dict would iterate them in.
-        insertion = np.argsort(first_seen)
-        if need_arcs:
-            sums = np.zeros(len(unique_keys), dtype=np.float64)
-            # Unbuffered in-order accumulation: per-key float additions
-            # happen in pair-visit order, exactly like the scalar loop.
-            np.add.at(sums, inverse, np.concatenate(value_segments))
-            self._edge_stats = sums[insertion]
-        else:
-            self._edge_stats = np.bincount(inverse, minlength=len(unique_keys))[insertion]
-        self._edge_keys = unique_keys[insertion]
 
     # -- unpacked construction --------------------------------------------
     def _build_unpacked(self, collection: BlockCollection, focus: Optional[Set[Any]]) -> None:
@@ -527,6 +646,7 @@ def edge_pruning(
     scheme: WeightingScheme = WeightingScheme.ARCS,
     focus: Optional[Set[Any]] = None,
     packed: bool = True,
+    executor: Optional[Any] = None,
 ) -> Set[Tuple[Any, Any]]:
     """Weighted Edge Pruning: return the retained comparison pairs.
 
@@ -536,8 +656,17 @@ def edge_pruning(
     granularity of comparison-refinement methods.  With *focus*, the
     graph (and therefore the average-weight threshold) is restricted to
     focus-incident edges — the only edges the caller will execute.
+
+    *executor* (a
+    :class:`~repro.parallel.executor.ParallelComparisonExecutor`) shards
+    segment generation of large packed builds across its worker pool; the
+    deterministic merge guarantees the graph — weights, edge order,
+    retained pairs — is bit-identical to the serial build.
     """
-    graph = BlockingGraph(collection, scheme=scheme, focus=focus, packed=packed)
+    if packed and executor is not None and executor.wants_parallel_graph(collection):
+        graph = executor.build_blocking_graph(collection, scheme=scheme, focus=focus)
+    else:
+        graph = BlockingGraph(collection, scheme=scheme, focus=focus, packed=packed)
     return graph.retained_pairs(graph.average_weight())
 
 

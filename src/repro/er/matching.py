@@ -37,7 +37,18 @@ pairs complete the identical slow-path computation.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, Dict, FrozenSet, Iterable, Mapping, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.er.similarity import (
     jaccard,
@@ -359,6 +370,55 @@ class ProfileMatcher:
                 stats["early_exits"] += 1
                 return True
         return max(total / counted, token_sim) >= threshold
+
+    def match_pair_indices(
+        self,
+        pairs: "Sequence[Tuple[Any, Any]]",
+        signatures: Mapping[Any, ProfileSignature],
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> "List[int]":
+        """Positions in ``pairs[start:stop]`` whose signatures match.
+
+        The partition-aware entry point of Comparison-Execution: the
+        parallel execution subsystem hands each worker one contiguous
+        span of the canonical candidate-pair list plus the (read-only)
+        signature mapping, and every worker runs this exact loop.  Each
+        decision is a pure function of the two signatures, so the union
+        of per-span results equals the serial full-range result
+        regardless of how the spans are partitioned.
+        """
+        stop = len(pairs) if stop is None else stop
+        match = self.match_signatures
+        signature_of = signatures.__getitem__
+        matched: List[int] = []
+        for position in range(start, stop):
+            left, right = pairs[position]
+            if match(signature_of(left), signature_of(right)):
+                matched.append(position)
+        return matched
+
+    def partition_view(self) -> "ProfileMatcher":
+        """A shallow copy for one parallel invocation's workers.
+
+        The view *shares* the token/pair memos (lock-guarded, so the
+        threaded pool may hit them concurrently; forked workers see them
+        copy-on-write) but owns zeroed cascade counters, letting the
+        deterministic merger fold per-partition counter deltas back into
+        this matcher without double counting.
+
+        Counter exactness is backend-dependent by design: forked workers
+        mutate private copies and their deltas merge exactly, while the
+        threaded pool increments this one view's counters without a lock
+        — ``+= 1`` read-modify-writes may interleave, so thread-backend
+        cascade statistics are best-effort instrumentation (match
+        decisions are never affected).  Locking every increment would
+        tax the cascade's hot loop for serial callers too.
+        """
+        view = ProfileMatcher.__new__(ProfileMatcher)
+        view.__dict__.update(self.__dict__)
+        view.cascade_stats = {key: 0 for key in self.cascade_stats}
+        return view
 
     def reset_cascade_stats(self) -> None:
         """Zero the cascade counters (the perf harness reads them)."""

@@ -76,6 +76,7 @@ def apply_meta_blocking(
     collection: BlockCollection,
     config: Optional[MetaBlockingConfig] = None,
     focus: Optional[set] = None,
+    executor: Optional[object] = None,
 ) -> BlockCollection:
     """Run the configured meta-blocking stages over *collection*.
 
@@ -85,6 +86,13 @@ def apply_meta_blocking(
     edges Comparison-Execution can actually run.  Meta-blocking never
     *adds* comparisons — a property the test suite checks with
     hypothesis.
+
+    *executor* is the optional parallel-execution handle
+    (:class:`~repro.parallel.executor.ParallelComparisonExecutor`):
+    Block Purging and Block Filtering reason over the whole collection
+    and stay serial, but Edge Pruning's blocking-graph construction — the
+    stage's hot path — is sharded across its worker pool, with a
+    deterministic merge keeping the output bit-identical to serial.
     """
     config = config or MetaBlockingConfig.all()
     current = collection.non_singleton()
@@ -94,7 +102,11 @@ def apply_meta_blocking(
         current = block_filtering(current, ratio=config.filter_ratio)
     if config.pruning:
         retained = edge_pruning(
-            current, scheme=config.weighting, focus=focus, packed=config.packed_graph
+            current,
+            scheme=config.weighting,
+            focus=focus,
+            packed=config.packed_graph,
+            executor=executor,
         )
         current = pairs_to_blocks(retained)
     return current

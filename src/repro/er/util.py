@@ -8,6 +8,7 @@ matcher memos.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Hashable, Tuple
 
 
@@ -38,32 +39,41 @@ class LRUCache:
     Python dicts preserve insertion order, so re-inserting a key on
     every hit keeps the first key the least recently used one; eviction
     pops it.  All operations are O(1).
+
+    Every mutating operation is guarded by a lock: matcher memos are
+    shared between worker threads when the parallel execution subsystem
+    falls back to its threaded pool, and the hit path is a non-atomic
+    pop-then-reinsert that would corrupt LRU order (or drop entries)
+    under concurrent access.
     """
 
-    __slots__ = ("capacity", "_data")
+    __slots__ = ("capacity", "_data", "_lock")
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError("LRU capacity must be at least 1")
         self.capacity = capacity
         self._data: Dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        data = self._data
-        try:
-            value = data.pop(key)
-        except KeyError:
-            return default
-        data[key] = value
-        return value
+        with self._lock:
+            data = self._data
+            try:
+                value = data.pop(key)
+            except KeyError:
+                return default
+            data[key] = value
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        data = self._data
-        if key in data:
-            del data[key]
-        elif len(data) >= self.capacity:
-            del data[next(iter(data))]
-        data[key] = value
+        with self._lock:
+            data = self._data
+            if key in data:
+                del data[key]
+            elif len(data) >= self.capacity:
+                del data[next(iter(data))]
+            data[key] = value
 
     def __setitem__(self, key: Hashable, value: Any) -> None:
         self.put(key, value)
@@ -75,4 +85,5 @@ class LRUCache:
         return len(self._data)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()

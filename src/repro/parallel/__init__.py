@@ -1,0 +1,41 @@
+"""Parallel execution subsystem: partitioned Comparison-Execution.
+
+QueryER's dominant cost is Comparison-Execution — blocking-graph
+construction plus per-pair similarity matching.  This package shards
+that hot path across a worker pool while keeping the output
+**bit-identical** to serial execution:
+
+* :class:`~repro.parallel.planner.PartitionPlanner` cuts the work
+  (candidate pairs, graph blocks) into balanced *contiguous* spans;
+* :class:`~repro.parallel.pool.WorkerPool` runs the spans on forked
+  processes (payloads shared copy-on-write), degrading to threads and
+  then to a serial loop where processes are unavailable;
+* :class:`~repro.parallel.merger.DeterministicMerger` recombines
+  per-partition results in fixed partition order, reassembling the exact
+  serial visit order — so edge weights, pruning decisions and match sets
+  carry the same bits as a single-core run;
+* :class:`~repro.parallel.executor.ParallelComparisonExecutor`
+  orchestrates the above and owns the candidate-plan cache the engine
+  invalidates on ingestion.
+
+Configuration enters through
+:class:`~repro.parallel.config.ExecutionConfig` (``workers=N``,
+auto-detected by default; ``REPRO_WORKERS`` overrides).
+"""
+
+from repro.parallel.config import ExecutionConfig, detect_workers, usable_cores
+from repro.parallel.executor import ParallelComparisonExecutor
+from repro.parallel.merger import DeterministicMerger
+from repro.parallel.planner import Partition, PartitionPlanner
+from repro.parallel.pool import WorkerPool
+
+__all__ = [
+    "ExecutionConfig",
+    "ParallelComparisonExecutor",
+    "DeterministicMerger",
+    "Partition",
+    "PartitionPlanner",
+    "WorkerPool",
+    "detect_workers",
+    "usable_cores",
+]

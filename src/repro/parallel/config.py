@@ -1,0 +1,129 @@
+"""Execution configuration for the parallel Comparison-Execution subsystem.
+
+:class:`ExecutionConfig` is the one knob surface: how many workers, which
+backend, and the thresholds below which a query stays on the serial fast
+path (partitioning a few hundred pairs costs more than it saves).  The
+default is auto-detection — ``REPRO_WORKERS`` if set, otherwise the
+process's usable core count — so the engine scales with the hardware
+without per-deployment code changes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+#: Upper bound of auto-detected workers; beyond this, per-query pool
+#: management overhead outgrows the marginal core's contribution on the
+#: workloads this engine serves.
+MAX_AUTO_WORKERS = 8
+
+#: Environment variable overriding the auto-detected worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on.
+
+    ``sched_getaffinity`` (where available) respects container/cgroup
+    CPU masks that ``cpu_count`` ignores.  No env override, no cap —
+    this is the hardware fact benchmarks report next to their ratios.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def detect_workers() -> int:
+    """Auto-detected worker count: env override, else capped cores."""
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return min(usable_cores(), MAX_AUTO_WORKERS)
+
+
+def fork_available() -> bool:
+    """Whether the fast copy-on-write process backend can run here."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How DEDUP Comparison-Execution is scheduled.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; ``None`` auto-detects (``REPRO_WORKERS`` env var,
+        else the usable core count capped at :data:`MAX_AUTO_WORKERS`).
+        ``1`` means strictly serial execution.
+    backend:
+        ``"process"`` (fork-based pool; payloads reach workers by
+        copy-on-write, only partition descriptors and results cross the
+        boundary), ``"thread"`` (shares live matchers — safe because the
+        matcher memos are lock-guarded), ``"serial"``, or ``"auto"``
+        (process where fork exists, thread otherwise).
+    min_parallel_pairs:
+        Candidate-pair count below which matching stays serial.  The
+        default is sized against pool start-up cost: forking from a
+        memory-heavy parent can cost ~100 ms, so the sharded work must
+        comfortably exceed that.
+    min_parallel_comparisons:
+        Block-collection cardinality below which the blocking graph is
+        built serially.  Sized like ``min_parallel_pairs``, noting that
+        per-comparison segment generation is far cheaper than a
+        matcher cascade.
+    partitions_per_worker:
+        Partition granularity: more partitions than workers lets the
+        pool balance uneven spans.
+    parallel_graph:
+        Also shard blocking-graph segment generation (not just
+        matching) across the pool.
+    candidate_cache_size:
+        Entries of the per-engine candidate-pair plan cache (repeated
+        frontiers skip re-deriving their comparison list); ``0``
+        disables it.
+    """
+
+    workers: int = None  # type: ignore[assignment]  # None → auto
+    backend: str = "auto"
+    min_parallel_pairs: int = 4096
+    min_parallel_comparisons: int = 131072
+    partitions_per_worker: int = 4
+    parallel_graph: bool = True
+    candidate_cache_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("auto", "process", "thread", "serial"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+    @classmethod
+    def serial(cls) -> "ExecutionConfig":
+        """Strictly single-threaded execution (the pre-subsystem path)."""
+        return cls(workers=1, backend="serial")
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (auto-detected when unset)."""
+        if self.workers is not None:
+            return self.workers
+        return detect_workers()
+
+    def resolved_backend(self) -> str:
+        """The effective backend for the resolved worker count."""
+        if self.resolved_workers() <= 1:
+            return "serial"
+        if self.backend == "auto":
+            return "process" if fork_available() else "thread"
+        return self.backend
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this configuration can ever run work on a pool."""
+        return self.resolved_workers() > 1 and self.resolved_backend() != "serial"

@@ -1,0 +1,246 @@
+"""The orchestrator: partitioned Comparison-Execution over a worker pool.
+
+:class:`ParallelComparisonExecutor` is the one object the rest of the
+engine talks to.  Per invocation it
+
+1. asks the :class:`~repro.parallel.planner.PartitionPlanner` for
+   balanced contiguous spans of the work (candidate pairs, or blocks of
+   a graph build),
+2. pre-builds every profile signature the spans touch — workers treat
+   signature state as read-only,
+3. runs the spans on a :class:`~repro.parallel.pool.WorkerPool`
+   (fork-based processes by default, threads or serial as fallback), and
+4. recombines per-partition results through the
+   :class:`~repro.parallel.merger.DeterministicMerger`, whose fixed
+   canonical order makes parallel output bit-identical to serial.
+
+It also owns the *candidate-plan cache*: the deterministic candidate-pair
+list derived for a (table, frontier, meta-blocking) triple, reused when
+the same frontier is re-resolved (sustained query traffic repeats
+frontiers; without the Link Index every repeat would re-derive the
+identical plan).  Cached plans describe a table *version*: the engine
+must call :meth:`invalidate_table` after every append and
+:meth:`invalidate` when benchmark runs demand cold state — a stale plan
+would silently miss pairs involving freshly ingested rows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.er.edge_pruning import BlockingGraph, WeightingScheme, prepare_packed_universe
+from repro.er.matching import ProfileMatcher, ProfileSignature
+from repro.er.util import LRUCache
+from repro.parallel.config import ExecutionConfig
+from repro.parallel.merger import DeterministicMerger
+from repro.parallel.planner import PartitionPlanner
+from repro.parallel.pool import WorkerPool
+from repro.parallel.tasks import (
+    GraphPayload,
+    GraphTask,
+    MatchPayload,
+    MatchTask,
+    run_graph_task,
+    run_match_task,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.indices import TableIndex
+    from repro.er.blocking import BlockCollection
+
+
+class _LazySignatures:
+    """Mapping view over ``TableIndex.signature_of`` for serial fallbacks.
+
+    Avoids materializing a signature dict when no worker will ever need
+    a fork-shareable snapshot of it.
+    """
+
+    __slots__ = ("_signature_of",)
+
+    def __init__(self, index: "TableIndex"):
+        self._signature_of = index.signature_of
+
+    def __getitem__(self, entity_id: Any) -> ProfileSignature:
+        return self._signature_of(entity_id)
+
+
+class ParallelComparisonExecutor:
+    """Partition-and-merge execution of the ER hot path.
+
+    One executor serves one engine for its whole lifetime; pools are
+    created per invocation (a forked child snapshots its parent, and
+    snapshots must not outlive the tables they mirror).
+    """
+
+    def __init__(self, config: Optional[ExecutionConfig] = None):
+        self.config = config or ExecutionConfig()
+        self.workers = self.config.resolved_workers()
+        self.backend = self.config.resolved_backend()
+        self.planner = PartitionPlanner(self.workers, self.config.partitions_per_worker)
+        self._candidate_cache: Optional[LRUCache] = (
+            LRUCache(self.config.candidate_cache_size)
+            if self.config.candidate_cache_size > 0
+            else None
+        )
+        self._epochs: Dict[str, int] = {}
+        #: Instrumentation: how invocations were scheduled.
+        self.stats = {
+            "parallel_match_runs": 0,
+            "serial_match_runs": 0,
+            "parallel_graph_builds": 0,
+            "candidate_cache_hits": 0,
+            "candidate_cache_misses": 0,
+        }
+
+    # -- scheduling decisions -------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1 and self.backend != "serial"
+
+    def should_parallelize_pairs(self, pair_count: int) -> bool:
+        return self.parallel and pair_count >= self.config.min_parallel_pairs
+
+    def wants_parallel_graph(self, collection: "BlockCollection") -> bool:
+        """Whether a packed graph over *collection* should use the pool."""
+        return (
+            self.parallel
+            and self.config.parallel_graph
+            and collection.cardinality >= self.config.min_parallel_comparisons
+        )
+
+    # -- matching --------------------------------------------------------
+    def match_pairs(
+        self,
+        index: "TableIndex",
+        matcher: ProfileMatcher,
+        pairs: Sequence[Tuple[Any, Any]],
+    ) -> List[int]:
+        """Matched positions of *pairs*, identical to the serial loop.
+
+        Signatures are pre-built up front (workers never mutate the
+        signature cache); the matcher handed to workers is a partition
+        view sharing the lock-guarded memos but owning private cascade
+        counters, which the merger folds back in partition order.
+        """
+        if not self.should_parallelize_pairs(len(pairs)):
+            self.stats["serial_match_runs"] += 1
+            return matcher.match_pair_indices(pairs, _LazySignatures(index))
+        self.stats["parallel_match_runs"] += 1
+        signatures = self._signature_map(index, pairs)
+        partitions = self.planner.partition_pairs(len(pairs))
+        view = matcher.partition_view()
+        payload = MatchPayload(
+            pairs, signatures, view, private_state=self.backend == "process"
+        )
+        tasks = [MatchTask(p.index, p.start, p.stop) for p in partitions]
+        results = WorkerPool(self.workers, self.backend).run(
+            run_match_task, tasks, payload
+        )
+        # The pool downgrades payload.private_state when a process run
+        # fell back to threads mid-flight — re-read it, don't assume.
+        private_state = payload.private_state
+        matched = DeterministicMerger.merge_matches(
+            results, matcher if private_state else None
+        )
+        if not private_state:
+            # Threaded backend: counters accumulated in the shared view.
+            for key, value in view.cascade_stats.items():
+                matcher.cascade_stats[key] = matcher.cascade_stats.get(key, 0) + value
+        return matched
+
+    @staticmethod
+    def _signature_map(
+        index: "TableIndex", pairs: Sequence[Tuple[Any, Any]]
+    ) -> Dict[Any, ProfileSignature]:
+        signature_of = index.signature_of
+        signatures: Dict[Any, ProfileSignature] = {}
+        for left, right in pairs:
+            if left not in signatures:
+                signatures[left] = signature_of(left)
+            if right not in signatures:
+                signatures[right] = signature_of(right)
+        return signatures
+
+    # -- blocking graph --------------------------------------------------
+    def build_blocking_graph(
+        self,
+        collection: "BlockCollection",
+        scheme: WeightingScheme = WeightingScheme.ARCS,
+        focus: Optional[Set[Any]] = None,
+    ) -> BlockingGraph:
+        """Packed graph built by partitioned segment generation.
+
+        The universe mapping is prepared once (serial), block spans are
+        balanced by comparison cardinality, and workers generate each
+        span's packed pair segments; the merge reassembles global block
+        visit order, so the resulting graph is bit-identical to
+        ``BlockingGraph(collection, packed=True)``.
+        """
+        self.stats["parallel_graph_builds"] += 1
+        universe, index_of, in_focus = prepare_packed_universe(collection, focus)
+        blocks = list(collection)
+        need_arcs = scheme is WeightingScheme.ARCS
+        payload = GraphPayload(blocks, index_of, len(universe), in_focus, need_arcs)
+        partitions = self.planner.partition_blocks(blocks)
+        tasks = [GraphTask(p.index, p.start, p.stop) for p in partitions]
+        results = WorkerPool(self.workers, self.backend).run(
+            run_graph_task, tasks, payload
+        )
+        edge_keys, edge_stats, block_counts = DeterministicMerger.merge_graph_segments(
+            results, len(universe), need_arcs
+        )
+        return BlockingGraph.from_arrays(
+            scheme, len(collection), universe, index_of, block_counts,
+            edge_keys, edge_stats,
+        )
+
+    # -- candidate-plan cache -------------------------------------------
+    def cached_candidates(
+        self, table_name: str, frontier: Set[Any], fingerprint: Any
+    ) -> Optional[List[Tuple[Any, Any]]]:
+        """The cached candidate-pair plan of a frontier, if still valid."""
+        if self._candidate_cache is None:
+            return None
+        key = self._plan_key(table_name, frontier, fingerprint)
+        plan = self._candidate_cache.get(key)
+        if plan is None:
+            self.stats["candidate_cache_misses"] += 1
+        else:
+            self.stats["candidate_cache_hits"] += 1
+        return plan
+
+    def store_candidates(
+        self,
+        table_name: str,
+        frontier: Set[Any],
+        fingerprint: Any,
+        pairs: List[Tuple[Any, Any]],
+    ) -> None:
+        if self._candidate_cache is None:
+            return
+        self._candidate_cache.put(
+            self._plan_key(table_name, frontier, fingerprint), pairs
+        )
+
+    def _plan_key(self, table_name: str, frontier: Set[Any], fingerprint: Any):
+        key = table_name.lower()
+        # The frozen frontier participates directly (no digests): a plan
+        # must never be served for a merely hash-equal frontier.
+        return (key, self._epochs.get(key, 0), fingerprint, frozenset(frontier))
+
+    def invalidate_table(self, table_name: str) -> None:
+        """Revoke every cached plan describing *table_name*.
+
+        Called by the engine after appends (and on ``replace=True``
+        re-registration): the epoch in the plan key advances, so stale
+        partition plans — which would miss pairs involving the new
+        records — can never be served again.
+        """
+        key = table_name.lower()
+        self._epochs[key] = self._epochs.get(key, 0) + 1
+
+    def invalidate(self) -> None:
+        """Drop all cached per-partition state (cold-start contract)."""
+        if self._candidate_cache is not None:
+            self._candidate_cache.clear()

@@ -1,0 +1,109 @@
+"""Worker pools: fork-based multiprocessing with threaded/serial fallback.
+
+The process backend is built for Linux ``fork``: the invocation payload
+is installed as a module global *before* the pool spawns, so children
+inherit it by copy-on-write and the per-task pickle traffic is a couple
+of integers out, an index list (or packed array) back.  Where fork is
+unavailable — or pool creation fails at runtime (locked-down sandboxes
+without ``/dev/shm``, resource limits) — the pool degrades to threads,
+and below two workers to a plain serial loop.  Every backend preserves
+task order in its result list, which the deterministic merger relies on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Sequence
+
+from repro.parallel.config import fork_available
+from repro.parallel.tasks import clear_payload, set_payload
+
+#: Warn about a failed process-pool spawn only once per process.
+_PROCESS_FALLBACK_WARNED = False
+
+
+class WorkerPool:
+    """Runs task batches over a chosen backend, preserving task order.
+
+    One :class:`WorkerPool` serves one Comparison-Execution invocation:
+    ``run`` installs the payload, executes all tasks, and tears the
+    payload down again.  Pools are deliberately per-invocation — a
+    forked child holds a snapshot of its parent's tables and caches, and
+    snapshots must never outlive the state they mirror (see
+    ``QueryEREngine.note_appended`` for the invalidation story).
+    """
+
+    def __init__(self, workers: int, backend: str):
+        if backend not in ("process", "thread", "serial"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if backend == "process" and not fork_available():
+            backend = "thread"
+        if workers == 1:
+            backend = "serial"
+        self.workers = workers
+        self.backend = backend
+
+    def run(
+        self,
+        worker: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        payload: object,
+    ) -> List[Any]:
+        """Execute *worker* over *tasks* with *payload* installed.
+
+        Results come back in task order for every backend.
+        """
+        if not tasks:
+            return []
+        set_payload(payload)
+        try:
+            if self.backend == "process":
+                # Only pool *creation* may fall back: a task exception
+                # must propagate as-is, not masquerade as a spawn
+                # failure and silently re-run the batch on threads.
+                try:
+                    pool = multiprocessing.get_context("fork").Pool(
+                        processes=self.workers
+                    )
+                except (OSError, ValueError, RuntimeError) as error:
+                    _warn_process_fallback(error)
+                    # Falling back to threads changes the state model:
+                    # workers now share one live payload instead of
+                    # copy-on-write copies.  Payloads that track this
+                    # (MatchPayload.private_state) are downgraded so
+                    # workers stop computing per-task counter deltas
+                    # that would overlap on the shared object.
+                    if getattr(payload, "private_state", None):
+                        payload.private_state = False
+                    return self._run_threads(worker, tasks)
+                with pool:
+                    # chunksize=1: tasks are already coarse partitions,
+                    # and eager chunking would serialize the balanced
+                    # spans back together.
+                    return pool.map(worker, tasks, chunksize=1)
+            if self.backend == "thread":
+                return self._run_threads(worker, tasks)
+            return [worker(task) for task in tasks]
+        finally:
+            clear_payload()
+
+    # -- backends --------------------------------------------------------
+
+    def _run_threads(self, worker, tasks) -> List[Any]:
+        with ThreadPoolExecutor(max_workers=self.workers) as executor:
+            return list(executor.map(worker, tasks))
+
+
+def _warn_process_fallback(error: Exception) -> None:
+    global _PROCESS_FALLBACK_WARNED
+    if not _PROCESS_FALLBACK_WARNED:
+        _PROCESS_FALLBACK_WARNED = True
+        warnings.warn(
+            f"process pool unavailable ({error}); falling back to threads",
+            RuntimeWarning,
+            stacklevel=3,
+        )
