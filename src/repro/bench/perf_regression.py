@@ -1,10 +1,17 @@
-"""Comparison-Execution perf-regression harness.
+"""Comparison-Execution and blocking-layer perf-regression harness.
 
-Measures the hot path this repository optimizes — blocking-graph
-construction plus Comparison-Execution matching — and the paper-shaped
-query workloads around it (fig 9's SP sweep, fig 10's scalability probe,
-table 6's stage breakdown), then emits ``BENCH_comparison_execution.json``
-as the perf-trajectory record every later PR is held to.
+Measures the hot paths this repository optimizes and the paper-shaped
+query workloads around them (fig 9's SP sweep, fig 10's scalability
+probe, table 6's stage breakdown), then emits the JSON perf-trajectory
+records every later PR is held to.  Two suites:
+
+* ``--suite comparison`` (default) — blocking-graph construction plus
+  Comparison-Execution matching, emitting
+  ``BENCH_comparison_execution.json``;
+* ``--suite blocking`` — the columnar blocking fast path (CSR postings
+  build, vectorized Block Purging / Block Filtering, array-derived QBI
+  and candidate derivation) against the dict TBI pipeline, emitting
+  ``BENCH_blocking.json``.
 
 Two configurations run side by side:
 
@@ -39,18 +46,31 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.bench.datasets import SCALE, registry
 from repro.bench.harness import fresh_engine, run_query
 from repro.bench.reporting import format_table
 from repro.bench.workload import q9_query, sp_queries
 from repro.core.indices import TableIndex
 from repro.core.planner import ExecutionMode
-from repro.er.block_filtering import block_filtering
-from repro.er.block_purging import block_purging
+from repro.er.block_filtering import block_filtering, retained_assignment_mask
+from repro.er.block_purging import block_purging, purge_threshold, purge_threshold_from_sizes
+from repro.er.blocking import BlockCollection, TokenPostings
 from repro.er.edge_pruning import edge_pruning
+from repro.er.linkset import canonical_pair
 from repro.er.matching import ProfileMatcher
+from repro.er.meta_blocking import MetaBlockingConfig, apply_meta_blocking
+from repro.er.packed_blocking import derive_candidates
+from repro.er.tokenizer import TokenVocabulary
+from repro.er.util import safe_sorted
 
 SCHEMA = "repro/bench/comparison-execution/v1"
+BLOCKING_SCHEMA = "repro/bench/blocking/v1"
+
+#: The blocking suite runs the fig9 families plus the table6 stage-
+#: breakdown probe's largest PPL variant.
+BLOCKING_DATASETS: Sequence[str] = ("DSD", "OAP", "OAGP2M", "PPL2M")
 
 #: fig 9 runs one SP sweep per dataset family (paper §9.2).
 FIG9_DATASETS: Sequence[Tuple[str, str]] = (
@@ -171,6 +191,323 @@ def run_microbenchmarks(dataset_keys: Sequence[str], repeat: int = 3) -> Dict[st
         },
         "identical_results": all(d["identical_results"] for d in per_dataset),
     }
+
+
+# -- blocking-layer microbenchmark ------------------------------------------
+
+
+def _best_of(repeat: int, fn):
+    """Best-of-N wall time plus the (last) result of *fn*."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _stage(baseline_s: float, fast_s: float) -> Dict[str, Any]:
+    return {
+        "baseline_s": round(baseline_s, 6),
+        "fast_s": round(fast_s, 6),
+        "speedup": round(baseline_s / fast_s, 2) if fast_s else None,
+    }
+
+
+def blocking_microbenchmark(dataset_key: str, repeat: int = 3) -> Dict[str, Any]:
+    """Columnar vs dict blocking pipeline on one dataset.
+
+    Five timed stages, each fast-vs-baseline with shared untimed prep:
+
+    * **build** — dict TBI + ITBI assembly vs CSR postings build, from
+      the same pre-tokenized per-entity key sets;
+    * **qbi** — dict ``query_block_index`` + ``block_join`` vs the
+      forward-CSR gather + inverted-postings materialization;
+    * **purge** — dict Block Purging vs the vectorized cardinality
+      threshold + mask;
+    * **filter** — dict Block Filtering vs the lexsort/prefix retention
+      mask;
+    * **derive** — the full candidate derivation (stages i–iii plus
+      Edge Pruning and pair enumeration) both ways.
+
+    The identity gate asserts equal assignment counts, equal EQBI keys,
+    the same integer purge threshold, the same retained (key, entity)
+    assignments, the same candidate-pair set and the same final match
+    decisions before any timing is reported.
+    """
+    table = registry().table(dataset_key)
+    index = TableIndex(table)
+    postings = index.postings  # materialize outside every timed region
+    vocabulary = postings.vocabulary
+    frontier = {row.id for row in table if row.id % 3 == 0}
+    config = MetaBlockingConfig.all()
+    identical = True
+
+    # build: shared tokenization, competing index assemblies.
+    prepared = [
+        (entity_id, index.blocking.keys_for(attributes))
+        for entity_id, attributes in index.entities.items()
+    ]
+
+    def dict_build():
+        collection = BlockCollection()
+        for entity_id, keys in prepared:
+            for key in keys:
+                collection.add(key, entity_id)
+        return collection, collection.inverted()
+
+    build_base_s, (_, itbi) = _best_of(repeat, dict_build)
+    build_fast_s, built = _best_of(
+        repeat, lambda: TokenPostings.build(prepared, TokenVocabulary())
+    )
+    identical &= built.assignment_count == sum(len(keys) for keys in itbi.values())
+
+    # qbi: QBI + Block-Join both ways.
+    def dict_qbi():
+        return index.block_join(index.query_block_index(frontier))
+
+    def packed_qbi():
+        dense = postings.dense_frontier(frontier)
+        tokens = postings.tokens_of_entities(dense)
+        sizes = postings.sizes_of(tokens)
+        indptr, members = postings.members_of(tokens)
+        return tokens, sizes, indptr, members
+
+    qbi_base_s, eqbi = _best_of(repeat, dict_qbi)
+    qbi_fast_s, (tokens, sizes, _, _) = _best_of(repeat, packed_qbi)
+    token_of = vocabulary.token_of
+    identical &= {token_of(t) for t in tokens.tolist()} == set(eqbi.keys())
+    identical &= int(sizes.sum()) == eqbi.total_assignments
+
+    # purge: vectorized threshold + mask vs dict walk + copies.
+    eqbi_ns = eqbi.non_singleton()
+    singleton_mask = sizes >= 2
+    tokens_ns = tokens[singleton_mask]
+    sizes_ns = sizes[singleton_mask]
+
+    def packed_purge():
+        threshold = purge_threshold_from_sizes(sizes_ns, config.smoothing_factor)
+        keep = sizes_ns * (sizes_ns - 1) // 2 <= threshold
+        return threshold, tokens_ns[keep], sizes_ns[keep]
+
+    purge_base_s, purged = _best_of(
+        repeat, lambda: block_purging(eqbi_ns, smoothing=config.smoothing_factor)
+    )
+    purge_fast_s, (threshold, purged_tokens, purged_sizes) = _best_of(
+        repeat, packed_purge
+    )
+    identical &= threshold == purge_threshold(eqbi_ns, smoothing=config.smoothing_factor)
+    identical &= {token_of(t) for t in purged_tokens.tolist()} == set(purged.keys())
+
+    # filter: per-entity retention both ways (shared regrouping prep).
+    indptr_p, members_p = postings.members_of(purged_tokens)
+    counts_p = np.diff(indptr_p)
+    block_of = np.repeat(np.arange(len(purged_tokens), dtype=np.int64), counts_p)
+    key_strings = np.array([token_of(t) for t in purged_tokens.tolist()])
+    ranks = np.empty(len(purged_tokens), dtype=np.int64)
+    ranks[np.argsort(key_strings)] = np.arange(len(purged_tokens), dtype=np.int64)
+
+    def packed_filter():
+        mask = retained_assignment_mask(
+            members_p, np.repeat(purged_sizes, counts_p), ranks[block_of],
+            config.filter_ratio,
+        )
+        kept_members = members_p[mask]
+        kept_blocks = block_of[mask]
+        survive = np.bincount(kept_blocks, minlength=len(purged_tokens)) >= 2
+        keep_assignment = survive[kept_blocks]
+        return kept_members[keep_assignment], kept_blocks[keep_assignment]
+
+    filter_base_s, filtered = _best_of(
+        repeat, lambda: block_filtering(purged, ratio=config.filter_ratio)
+    )
+    filter_fast_s, (kept_members, kept_blocks) = _best_of(repeat, packed_filter)
+    dict_assignments = {
+        (block.key, entity) for block in filtered for entity in block.entities
+    }
+    entity_id_of = postings.entity_id_of
+    packed_assignments = {
+        (token_of(int(purged_tokens[b])), entity_id_of(int(m)))
+        for m, b in zip(kept_members.tolist(), kept_blocks.tolist())
+    }
+    identical &= dict_assignments == packed_assignments
+
+    # derive: the full dict pipeline vs derive_candidates.
+    def dict_derive():
+        refined = apply_meta_blocking(
+            index.block_join(index.query_block_index(frontier)), config, focus=frontier
+        )
+        raw: List[Tuple[Any, Any]] = []
+        seen = set()
+        for block in refined:
+            members = safe_sorted(block.entities)
+            for i, left in enumerate(members):
+                for right in members[i + 1 :]:
+                    if left not in frontier and right not in frontier:
+                        continue
+                    pair = canonical_pair(left, right)
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    raw.append(pair)
+        return raw
+
+    derive_base_s, base_pairs = _best_of(repeat, dict_derive)
+    derive_fast_s, fast_pairs = _best_of(
+        repeat, lambda: derive_candidates(postings, frontier, config).pairs
+    )
+    identical &= set(base_pairs) == set(fast_pairs)
+
+    # final DEDUP matches over both pair lists (untimed identity gate).
+    matcher = ProfileMatcher(exclude=(table.schema.id_column,))
+    signature_of = index.signature_of
+    fast_matches = {
+        pair
+        for pair in fast_pairs
+        if matcher.match_signatures(signature_of(pair[0]), signature_of(pair[1]))
+    }
+    base_matches = {
+        pair
+        for pair in base_pairs
+        if matcher.match_signatures(signature_of(pair[0]), signature_of(pair[1]))
+    }
+    identical &= fast_matches == base_matches
+
+    stages = {
+        "build": _stage(build_base_s, build_fast_s),
+        "qbi": _stage(qbi_base_s, qbi_fast_s),
+        "purge": _stage(purge_base_s, purge_fast_s),
+        "filter": _stage(filter_base_s, filter_fast_s),
+        "derive": _stage(derive_base_s, derive_fast_s),
+    }
+    baseline_s = sum(stage["baseline_s"] for stage in stages.values())
+    fast_s = sum(stage["fast_s"] for stage in stages.values())
+    return {
+        "dataset": dataset_key,
+        "entities": len(table),
+        "frontier": len(frontier),
+        "eqbi_blocks": len(tokens),
+        "purge_threshold": int(threshold),
+        "filtered_assignments": len(packed_assignments),
+        "pairs": len(fast_pairs),
+        "matches": len(fast_matches),
+        "identical_results": bool(identical),
+        "stages": stages,
+        "total": _stage(baseline_s, fast_s),
+    }
+
+
+def run_blocking(quick: bool = False, repeat: int = 3) -> Dict[str, Any]:
+    keys = BLOCKING_DATASETS[:2] if quick else BLOCKING_DATASETS
+    per_dataset = [blocking_microbenchmark(key, repeat=repeat) for key in keys]
+    baseline_s = sum(d["total"]["baseline_s"] for d in per_dataset)
+    fast_s = sum(d["total"]["fast_s"] for d in per_dataset)
+    return {
+        "schema": BLOCKING_SCHEMA,
+        "generated_unix": int(time.time()),
+        "scale": SCALE,
+        "quick": quick,
+        "python": "%d.%d" % sys.version_info[:2],
+        "description": (
+            "columnar blocking fast path (CSR postings build, vectorized "
+            "purge/filter, array-derived QBI and candidate derivation) vs "
+            "the dict TBI pipeline on the fig9/table6 workloads"
+        ),
+        "datasets": per_dataset,
+        "aggregate": {
+            "baseline_s": round(baseline_s, 6),
+            "fast_s": round(fast_s, 6),
+            "speedup": round(baseline_s / fast_s, 2) if fast_s else None,
+        },
+        "identical_results": all(d["identical_results"] for d in per_dataset),
+    }
+
+
+def render_blocking(report: Dict[str, Any]) -> str:
+    lines = []
+    rows = []
+    for d in report["datasets"]:
+        stages = d["stages"]
+        rows.append(
+            (
+                d["dataset"],
+                d["entities"],
+                d["pairs"],
+                stages["build"]["speedup"],
+                stages["qbi"]["speedup"],
+                stages["purge"]["speedup"],
+                stages["filter"]["speedup"],
+                stages["derive"]["speedup"],
+                d["total"]["speedup"],
+                "yes" if d["identical_results"] else "NO",
+            )
+        )
+    lines.append(
+        format_table(
+            [
+                "dataset",
+                "entities",
+                "pairs",
+                "build x",
+                "qbi x",
+                "purge x",
+                "filter x",
+                "derive x",
+                "total x",
+                "identical",
+            ],
+            rows,
+            title="Blocking-layer microbenchmark (packed vs dict, speedups)",
+        )
+    )
+    aggregate = report["aggregate"]
+    lines.append(
+        f"aggregate: baseline {aggregate['baseline_s']:.3f}s → "
+        f"fast {aggregate['fast_s']:.3f}s  ({aggregate['speedup']}x)"
+    )
+    return "\n".join(lines)
+
+
+def check_blocking_shape(
+    report: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[str]:
+    """Result-shape drift for the blocking suite (timings never gated)."""
+    problems: List[str] = []
+    if report.get("schema") != baseline.get("schema"):
+        problems.append(
+            f"schema drift: {report.get('schema')!r} != {baseline.get('schema')!r}"
+        )
+        return problems
+    if report.get("scale") != baseline.get("scale"):
+        problems.append(
+            f"scale mismatch (run {report.get('scale')}, baseline "
+            f"{baseline.get('scale')}): results are not comparable"
+        )
+        return problems
+    if not report["identical_results"]:
+        problems.append("blocking: packed and dict pipelines diverged")
+    reference_sets = {d["dataset"]: d for d in baseline["datasets"]}
+    for current in report["datasets"]:
+        reference = reference_sets.get(current["dataset"])
+        if reference is None:
+            problems.append(f"blocking dataset {current['dataset']} not in baseline")
+            continue
+        for field in (
+            "entities",
+            "frontier",
+            "eqbi_blocks",
+            "purge_threshold",
+            "filtered_assignments",
+            "pairs",
+            "matches",
+        ):
+            if current[field] != reference[field]:
+                problems.append(
+                    f"blocking {current['dataset']}: {field} drifted "
+                    f"{reference[field]} -> {current[field]}"
+                )
+    return problems
 
 
 # -- workload timings -------------------------------------------------------
@@ -367,9 +704,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro.bench.perf_regression", description=__doc__.split("\n\n")[0]
     )
     parser.add_argument(
+        "--suite",
+        choices=("comparison", "blocking"),
+        default="comparison",
+        help="which microbenchmark suite to run (default: %(default)s)",
+    )
+    parser.add_argument(
         "--output",
-        default="BENCH_comparison_execution.json",
-        help="where to write the JSON report (default: %(default)s)",
+        default=None,
+        help="where to write the JSON report (default: "
+        "BENCH_comparison_execution.json / BENCH_blocking.json per suite)",
     )
     parser.add_argument(
         "--quick",
@@ -390,20 +734,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = run(quick=args.quick, repeat=args.repeat)
-    with open(args.output, "w") as handle:
+    if args.suite == "blocking":
+        report = run_blocking(quick=args.quick, repeat=args.repeat)
+        rendered = render_blocking(report)
+        identical = report["identical_results"]
+        checker = check_blocking_shape
+        output = args.output or "BENCH_blocking.json"
+    else:
+        report = run(quick=args.quick, repeat=args.repeat)
+        rendered = render(report)
+        identical = report["microbenchmark"]["identical_results"]
+        checker = check_shape
+        output = args.output or "BENCH_comparison_execution.json"
+    with open(output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
-    print(render(report))
-    print(f"\nreport written to {args.output}")
+    print(rendered)
+    print(f"\nreport written to {output}")
 
-    if not report["microbenchmark"]["identical_results"]:
+    if not identical:
         print("FAIL: fast path and baseline produced different results", file=sys.stderr)
         return 1
     if args.check:
         with open(args.check) as handle:
             baseline = json.load(handle)
-        problems = check_shape(report, baseline)
+        problems = checker(report, baseline)
         if problems:
             print(f"\nresult-shape drift vs {args.check}:", file=sys.stderr)
             for problem in problems:

@@ -73,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print executed comparisons and per-stage timings",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage time breakdown (Table 6-style shares) "
+        "after the query, largest stage first",
+    )
     return parser
 
 
@@ -108,7 +114,27 @@ def run(argv: Optional[Sequence[str]] = None, output=None) -> int:
         )
         for stage, seconds in sorted(result.stage_times.items()):
             print(f"  {stage}: {seconds:.4f}s", file=output)
+    if args.profile:
+        print(file=output)
+        print(_profile_table(result), file=output)
     return 0
+
+
+def _profile_table(result) -> str:
+    """The per-stage breakdown the ExecutionContext already captured,
+    as an aligned table with Table 6-style percentage shares."""
+    stages = sorted(result.stage_times.items(), key=lambda item: -item[1])
+    timed_total = sum(seconds for _, seconds in stages)
+    if not stages or timed_total <= 0:
+        return "no per-stage timings recorded (not a DEDUP query?)"
+    rows = [
+        (stage, f"{seconds:.4f}", f"{100.0 * seconds / timed_total:.1f}%")
+        for stage, seconds in stages
+    ]
+    rows.append(("total", f"{timed_total:.4f}", "100.0%"))
+    return format_table(
+        ["stage", "seconds", "share"], rows, title="Per-stage breakdown"
+    )
 
 
 def main() -> None:  # pragma: no cover - thin wrapper

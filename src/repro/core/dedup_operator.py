@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Set, Tuple
 from repro.core.indices import TableIndex
 from repro.core.result import DedupResult
 from repro.er.linkset import LinkSet, canonical_pair
+from repro.er.packed_blocking import derive_candidates, packed_blocking_supported
 from repro.er.util import safe_sorted
 from repro.er.matching import ProfileMatcher
 from repro.er.meta_blocking import MetaBlockingConfig, apply_meta_blocking
@@ -220,7 +221,24 @@ class DeduplicateOperator:
         raw: Optional[List[Tuple[Any, Any]]] = None
         if executor is not None:
             raw = executor.cached_candidates(table_name, frontier, self.meta_blocking)
-        if raw is None:
+        if raw is None and packed_blocking_supported(self.meta_blocking):
+            # Columnar fast path: stages (i)–(iii) derived from the CSR
+            # token postings, no string-keyed BlockCollection at all.
+            derived = derive_candidates(
+                self.index.postings,
+                frontier,
+                self.meta_blocking,
+                timed=context.timed,
+                executor=executor,
+            )
+            stats.qbi_blocks = max(stats.qbi_blocks, derived.qbi_blocks)
+            stats.eqbi_blocks = max(stats.eqbi_blocks, derived.eqbi_blocks)
+            stats.eqbi_comparisons_before += derived.comparisons_before
+            stats.eqbi_comparisons_after += derived.comparisons_after
+            raw = derived.pairs
+            if executor is not None:
+                executor.store_candidates(table_name, frontier, self.meta_blocking, raw)
+        elif raw is None:
             # (i) Query Blocking — QBI over the frontier.
             with context.timed("block-join"):
                 qbi = self.index.query_block_index(frontier)

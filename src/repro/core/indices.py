@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.entity import EntityCollection
-from repro.er.blocking import Block, BlockCollection, TokenBlocking
+from repro.er.blocking import Block, BlockCollection, TokenBlocking, TokenPostings
 from repro.er.linkset import LinkSet
 from repro.er.matching import ProfileSignature, build_signature
 from repro.er.tokenizer import TokenVocabulary
@@ -128,6 +128,33 @@ class TableIndex:
         self.vocabulary = TokenVocabulary()
         self._signatures: Dict[Any, ProfileSignature] = {}
         self._signature_exclude = frozenset({table.schema.id_column.lower()})
+        # Columnar blocking fast-path state: the CSR token postings are
+        # the TBI/ITBI's array twin, built lazily from the dict indices
+        # on first packed query and amended delta-wise on appends.
+        self._postings: Optional[TokenPostings] = None
+
+    # -- columnar postings ------------------------------------------------
+    @property
+    def postings(self) -> TokenPostings:
+        """The table's CSR :class:`~repro.er.blocking.TokenPostings`.
+
+        Built lazily from the ITBI (entities in table order, so dense
+        ids are registration-ordered), then kept in lockstep with the
+        dict TBI by :meth:`add_records` — the packed blocking pipeline
+        and the dict pipeline always see the same assignments.
+        """
+        if self._postings is None:
+            itbi = self.itbi
+            self._postings = TokenPostings.build(
+                ((row.id, itbi.get(row.id, ())) for row in self.table),
+                self.vocabulary,
+            )
+        return self._postings
+
+    @property
+    def postings_built(self) -> bool:
+        """Whether the postings have been materialized yet."""
+        return self._postings is not None
 
     # -- profile signatures ----------------------------------------------
     def signature_of(self, entity_id: Any) -> ProfileSignature:
@@ -193,6 +220,13 @@ class TableIndex:
             keys_of = self.itbi.get(entity_id)
             if keys_of:
                 keys_of.sort(key=size_order)
+        # Postings delta: extend the forward CSR and pending inverted
+        # postings with exactly the batch's assignments — no rebuild
+        # (unbuilt postings will simply include the rows when first
+        # materialized from the grown ITBI).
+        if self._postings is not None:
+            for entity_id in new_ids:
+                self._postings.add_entity(entity_id, new_keys[entity_id])
         # Pre-build the batch's profile signatures so the vocabulary grows
         # incrementally with the delta and the first post-append query
         # pays no signature cost for the new rows.

@@ -13,7 +13,12 @@ with smoothing factor SF = 1.025 [23]; blocks with ||b|| > t are removed.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, List, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every packed purge
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None
 
 from repro.er.blocking import Block, BlockCollection
 
@@ -43,6 +48,61 @@ def _ascending_stats(blocks: List[Block]) -> List[Tuple[int, int, int]]:
     return stats
 
 
+def _threshold_from_stats(
+    stats: List[Tuple[int, int, int]], smoothing: float
+) -> int:
+    """The descending cumulative-ratio walk shared by both purge paths.
+
+    *stats* is the ascending per-level ``(cardinality, Σ|b|, Σ||b||)``
+    list (Python ints — the walk's comparisons are exact).  See
+    :func:`purge_threshold` for the criterion.
+    """
+    if not stats:
+        return 0
+    # Fallback when the walk never flattens: the ratio grows faster than
+    # SF at every level, so only the smallest blocks are worth keeping.
+    threshold = stats[0][0]
+    previous_cardinality, previous_size, previous_comparisons = 0, 0.0, 0.0
+    for cardinality, cum_size, cum_comparisons in reversed(stats):
+        if previous_comparisons > 0:
+            if cum_size * previous_comparisons < smoothing * cum_comparisons * previous_size:
+                threshold = previous_cardinality
+                break
+        previous_cardinality = cardinality
+        previous_size, previous_comparisons = cum_size, cum_comparisons
+    return threshold
+
+
+def purge_threshold_from_sizes(sizes: Any, smoothing: float = SMOOTHING_FACTOR) -> int:
+    """Purge threshold from a per-block size array |b| (the packed path).
+
+    Vectorized grouping (distinct cardinality levels, cumulative Σ|b|
+    and Σ||b|| via ``np.unique``/``np.cumsum``) feeding the exact same
+    scalar walk as :func:`purge_threshold` — the integer threshold is
+    identical to the dict path's by construction.  Blocks with fewer
+    than two entities are ignored, mirroring the dict path's
+    ``non_singleton`` precondition.
+    """
+    sizes = _np.asarray(sizes, dtype=_np.int64)
+    sizes = sizes[sizes >= 2]
+    if not len(sizes):
+        return 0
+    cardinalities = sizes * (sizes - 1) // 2
+    levels, inverse = _np.unique(cardinalities, return_inverse=True)
+    size_sums = _np.zeros(len(levels), dtype=_np.int64)
+    _np.add.at(size_sums, inverse, sizes)
+    comparison_sums = _np.zeros(len(levels), dtype=_np.int64)
+    _np.add.at(comparison_sums, inverse, cardinalities)
+    stats = list(
+        zip(
+            levels.tolist(),
+            _np.cumsum(size_sums).tolist(),
+            _np.cumsum(comparison_sums).tolist(),
+        )
+    )
+    return _threshold_from_stats(stats, smoothing)
+
+
 def purge_threshold(collection: BlockCollection, smoothing: float = SMOOTHING_FACTOR) -> int:
     """Maximum allowed block cardinality ||b|| for *collection*.
 
@@ -61,20 +121,7 @@ def purge_threshold(collection: BlockCollection, smoothing: float = SMOOTHING_FA
     never triggers (nothing purged).
     """
     stats = _ascending_stats([b for b in collection if b.cardinality > 0])
-    if not stats:
-        return 0
-    # Fallback when the walk never flattens: the ratio grows faster than
-    # SF at every level, so only the smallest blocks are worth keeping.
-    threshold = stats[0][0]
-    previous_cardinality, previous_size, previous_comparisons = 0, 0.0, 0.0
-    for cardinality, cum_size, cum_comparisons in reversed(stats):
-        if previous_comparisons > 0:
-            if cum_size * previous_comparisons < smoothing * cum_comparisons * previous_size:
-                threshold = previous_cardinality
-                break
-        previous_cardinality = cardinality
-        previous_size, previous_comparisons = cum_size, cum_comparisons
-    return threshold
+    return _threshold_from_stats(stats, smoothing)
 
 
 def block_purging(
@@ -89,5 +136,8 @@ def block_purging(
     kept = BlockCollection()
     for block in collection:
         if 0 < block.cardinality <= threshold:
-            kept.put(Block(block.key, block.entities))
+            # An explicit cheap copy: the kept block must not alias the
+            # input's mutable entity set (callers mutate results freely),
+            # and Block.copy() clones the set without re-hashing it.
+            kept.put(block.copy())
     return kept

@@ -119,6 +119,78 @@ def prepare_packed_universe(
     return universe, index_of, in_focus
 
 
+def _emit_scalar_block(
+    members: List[int],
+    n: int,
+    in_focus: Optional[bytearray],
+    need_arcs: bool,
+    reciprocal: float,
+    pending_keys: List[int],
+    pending_recips: List[float],
+) -> None:
+    """One small block's packed pair keys, appended to the scalar run.
+
+    *members* are sorted dense indices.  Shared by the Block-object and
+    postings-span generators so their pair enumeration (and focus
+    filtering) can never drift apart.
+    """
+    size = len(members)
+    for ai in range(size):
+        left = members[ai]
+        base = left * n
+        tail = members[ai + 1 :]
+        if in_focus is not None and not in_focus[left]:
+            tail = [right for right in tail if in_focus[right]]
+        for right in tail:
+            pending_keys.append(base + right)
+            if need_arcs:
+                pending_recips.append(reciprocal)
+
+
+def _emit_vector_block(
+    members_arr: Any,
+    n: int,
+    focus_mask: Any,
+    need_arcs: bool,
+    reciprocal: float,
+    key_segments: List[Any],
+    value_segments: List[Any],
+) -> None:
+    """One vectorized block's key (and ARCS value) segments.
+
+    *members_arr* is a sorted int64 array of dense indices.  Mid-size
+    blocks use one cached upper-triangle index pair; larger blocks go
+    row-at-a-time to keep scratch memory linear in block size.  Shared
+    by both segment generators (see :func:`_emit_scalar_block`).
+    """
+    np = _np
+    size = len(members_arr)
+    if size <= _VECTOR_TRIU_MAX:
+        ii, jj = _triu_indices(size)
+        left = members_arr[ii]
+        right = members_arr[jj]
+        keys = left * n + right
+        if focus_mask is not None:
+            keep = focus_mask[left] | focus_mask[right]
+            keys = keys[keep]
+        if keys.size:
+            key_segments.append(keys)
+            if need_arcs:
+                value_segments.append(np.full(keys.size, reciprocal, dtype=np.float64))
+        return
+    for ai in range(size - 1):
+        left_idx = int(members_arr[ai])
+        tail = members_arr[ai + 1 :]
+        if focus_mask is not None and not focus_mask[left_idx]:
+            tail = tail[focus_mask[tail]]
+            if not tail.size:
+                continue
+        keys = left_idx * n + tail
+        key_segments.append(keys)
+        if need_arcs:
+            value_segments.append(np.full(keys.size, reciprocal, dtype=np.float64))
+
+
 def generate_packed_segments(
     blocks: Iterable[Block],
     index_of: Dict[Any, int],
@@ -156,6 +228,7 @@ def generate_packed_segments(
 
     for block in blocks:
         size = block.size
+        reciprocal = 0.0
         if need_arcs:
             cardinality = block.cardinality
             reciprocal = 1.0 / cardinality if cardinality else 0.0
@@ -163,16 +236,10 @@ def generate_packed_segments(
             members = sorted([index_of[e] for e in block.entities])
             for i in members:
                 block_counts[i] += 1
-            for ai in range(size):
-                left = members[ai]
-                base = left * n
-                tail = members[ai + 1 :]
-                if in_focus is not None and not in_focus[left]:
-                    tail = [right for right in tail if in_focus[right]]
-                for right in tail:
-                    pending_keys.append(base + right)
-                    if need_arcs:
-                        pending_recips.append(reciprocal)
+            _emit_scalar_block(
+                members, n, in_focus, need_arcs, reciprocal,
+                pending_keys, pending_recips,
+            )
             continue
         flush_scalar()
         members_arr = np.fromiter(
@@ -181,37 +248,79 @@ def generate_packed_segments(
         members_arr.sort()
         for i in members_arr.tolist():
             block_counts[i] += 1
-        if size <= _VECTOR_TRIU_MAX:
-            ii, jj = _triu_indices(size)
-            left = members_arr[ii]
-            right = members_arr[jj]
-            keys = left * n + right
-            if focus_mask is not None:
-                keep = focus_mask[left] | focus_mask[right]
-                keys = keys[keep]
-            if keys.size:
-                key_segments.append(keys)
-                if need_arcs:
-                    value_segments.append(
-                        np.full(keys.size, reciprocal, dtype=np.float64)
-                    )
-        else:
-            # Row-at-a-time keeps scratch memory linear in block size.
-            for ai in range(size - 1):
-                left_idx = int(members_arr[ai])
-                tail = members_arr[ai + 1 :]
-                if focus_mask is not None and not focus_mask[left_idx]:
-                    tail = tail[focus_mask[tail]]
-                    if not tail.size:
-                        continue
-                keys = left_idx * n + tail
-                key_segments.append(keys)
-                if need_arcs:
-                    value_segments.append(
-                        np.full(keys.size, reciprocal, dtype=np.float64)
-                    )
+        _emit_vector_block(
+            members_arr, n, focus_mask, need_arcs, reciprocal,
+            key_segments, value_segments,
+        )
     flush_scalar()
     return key_segments, value_segments
+
+
+def generate_span_segments(
+    members: Any,
+    indptr: Any,
+    start: int,
+    stop: int,
+    n: int,
+    in_focus: Optional[bytearray],
+    need_arcs: bool,
+) -> Tuple[List[Any], List[Any], Any]:
+    """Packed pair segments for block span ``[start, stop)`` of a
+    postings-derived collection (the columnar blocking fast path).
+
+    The array twin of :func:`generate_packed_segments`: *members* holds
+    universe positions grouped by block (block ``b`` spans
+    ``members[indptr[b] : indptr[b+1]]``), so no per-entity dict
+    lookups happen at all — block membership counts come from one
+    ``bincount`` and per-block pair enumeration uses the same
+    size-tiered strategy (scalar / cached triangle / row-at-a-time).
+    Returns ``(key_segments, value_segments, block_counts)`` with
+    *block_counts* an int64 array of length *n* covering the span.
+    """
+    np = _np
+    focus_mask = (
+        None
+        if in_focus is None
+        else np.frombuffer(in_focus, dtype=np.uint8).view(np.bool_)
+    )
+    span = members[indptr[start] : indptr[stop]]
+    if len(span):
+        block_counts = np.bincount(span, minlength=n).astype(np.int64)
+    else:
+        block_counts = np.zeros(n, dtype=np.int64)
+    key_segments: List[Any] = []
+    value_segments: List[Any] = []
+    pending_keys: List[int] = []
+    pending_recips: List[float] = []
+
+    def flush_scalar() -> None:
+        if pending_keys:
+            key_segments.append(np.array(pending_keys, dtype=np.int64))
+            if need_arcs:
+                value_segments.append(np.array(pending_recips, dtype=np.float64))
+                pending_recips.clear()
+            pending_keys.clear()
+
+    for block in range(start, stop):
+        lo = int(indptr[block])
+        hi = int(indptr[block + 1])
+        size = hi - lo
+        if size < 2:
+            continue
+        reciprocal = 1.0 / (size * (size - 1) // 2) if need_arcs else 0.0
+        if size < _VECTOR_MIN_SIZE:
+            _emit_scalar_block(
+                sorted(members[lo:hi].tolist()), n, in_focus, need_arcs,
+                reciprocal, pending_keys, pending_recips,
+            )
+            continue
+        flush_scalar()
+        _emit_vector_block(
+            np.sort(members[lo:hi]), n, focus_mask, need_arcs, reciprocal,
+            key_segments, value_segments,
+        )
+    flush_scalar()
+    return key_segments, value_segments, block_counts
 
 
 def reduce_packed_segments(
@@ -242,6 +351,41 @@ def reduce_packed_segments(
     else:
         edge_stats = np.bincount(inverse, minlength=len(unique_keys))[insertion]
     return unique_keys[insertion], edge_stats
+
+
+def reduce_span_segments(
+    key_segments: List[Any], value_segments: List[Any], need_arcs: bool
+) -> Tuple[Any, Any]:
+    """Sorted-key reduction for the columnar blocking pipeline.
+
+    The packed-TBI pipeline owns its ordering contract (edges in
+    ascending packed-key order rather than the dict path's first-visit
+    order), which unlocks a much cheaper reduction than
+    :func:`reduce_packed_segments`: one stable argsort, boundary
+    detection, and ``np.add.reduceat`` — no ``np.unique`` index
+    juggling, no unbuffered ``np.add.at``.  Per-key contributions still
+    accumulate left-to-right in global block visit order (the stable
+    sort preserves it), so a partitioned build concatenating span
+    results in partition order reduces bit-identically to the serial
+    span build.
+    """
+    np = _np
+    empty_stats = np.empty(0, dtype=np.float64 if need_arcs else np.int64)
+    if not key_segments:
+        return np.empty(0, dtype=np.int64), empty_stats
+    all_keys = np.concatenate(key_segments)
+    order = np.argsort(all_keys, kind="stable")
+    sorted_keys = all_keys[order]
+    boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+    unique_keys = sorted_keys[starts]
+    if need_arcs:
+        values = np.concatenate(value_segments)[order]
+        sums = np.add.reduceat(values, starts)
+    else:
+        stops = np.concatenate((boundaries, np.array([len(sorted_keys)], dtype=np.int64)))
+        sums = stops - starts
+    return unique_keys, sums
 
 
 def generate_packed_contributions(
@@ -357,8 +501,9 @@ class BlockingGraph:
         workers, reduces them in canonical block order, and hands the
         result here; provided the reduction matches
         :func:`reduce_packed_segments` / :func:`fold_packed_contributions`
-        over the same visit order, the graph is indistinguishable from a
-        serially-built one.
+        over the same visit order — or :func:`reduce_span_segments` under
+        the columnar pipeline's sorted-key order — the graph is
+        indistinguishable from one built serially over that order.
         """
         graph = cls.__new__(cls)
         graph.scheme = scheme
@@ -609,15 +754,33 @@ class BlockingGraph:
         if self.packed:
             weights = self._packed_weights()
             if _np is not None and isinstance(weights, _np.ndarray):
-                # Sequential Python sum, not np.sum: pairwise summation
-                # would round differently from the baseline.
-                weights = weights.tolist()
+                # Sequential left-to-right summation in C (cumsum, never
+                # np.sum): bit-identical to the baseline's Python sum
+                # over the same edge order — pairwise summation would
+                # round differently.
+                return float(_np.cumsum(weights)[-1]) / edge_count
             return sum(weights) / edge_count
         if self.scheme is WeightingScheme.ARCS:
             return sum(self._shared_arcs.values()) / edge_count
         if self.scheme is WeightingScheme.CBS:
             return sum(self._shared_blocks.values()) / edge_count
         return sum(w for _, _, w in self.edges()) / edge_count
+
+    def retained_key_array(self, threshold: float) -> Any:
+        """Packed keys whose weight is at or above *threshold* (bulk).
+
+        The columnar pipeline consumes this directly — the keys keep
+        their edge order (ascending under the sorted-key reduction), so
+        the caller can unpack to id pairs without set materialization.
+        Packed graphs only.
+        """
+        keys = self._edge_keys
+        weights = self._packed_weights()
+        if _np is not None and isinstance(keys, _np.ndarray):
+            if not isinstance(weights, _np.ndarray):
+                weights = _np.asarray(weights, dtype=_np.float64)
+            return keys[weights >= threshold]
+        return [key for key, weight in zip(keys, weights) if weight >= threshold]
 
     def retained_pairs(self, threshold: float) -> Set[Tuple[Any, Any]]:
         """Canonical pairs whose weight is at or above *threshold*.

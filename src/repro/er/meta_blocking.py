@@ -36,6 +36,15 @@ class MetaBlockingConfig:
     #: identical to the unpacked build; off only for perf baselines and
     #: the fast-path equivalence tests.
     packed_graph: bool = True
+    #: Use the columnar blocking pipeline (:mod:`repro.er.packed_blocking`)
+    #: for the whole QBI → Block-Join → BP → BF → EP derivation: candidate
+    #: pairs come straight from the table's CSR token postings, with no
+    #: string-keyed block collection materialized on the DEDUP hot path.
+    #: Same purge threshold, same retained per-entity keys, same pair set
+    #: and matches as the dict pipeline, which remains the equivalence
+    #: baseline (and the fallback when NumPy is unavailable or Edge
+    #: Pruning runs unpacked).
+    packed_blocking: bool = True
 
     @classmethod
     def all(cls) -> "MetaBlockingConfig":

@@ -3,14 +3,17 @@
 Every token of every attribute value becomes a candidate blocking key
 (paper §6.1(i), following Papadakis et al. [23]).  Tokenization is
 deliberately simple and deterministic: lowercase, split on any
-non-alphanumeric character, drop tokens shorter than a minimum length and
-purely-numeric noise below a minimum length.
+non-alphanumeric character, drop tokens shorter than a minimum length.
+Purely-numeric tokens get no special treatment by default; callers that
+want to suppress short numeric noise (years, street numbers, page
+counts — near-meaningless as blocking keys yet frequent enough to form
+oversized blocks) can opt in via ``numeric_min_length``.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, Iterable, List, Mapping, Set, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 _TOKEN_SPLIT = re.compile(r"[^0-9a-z]+")
 
@@ -20,22 +23,37 @@ _TOKEN_SPLIT = re.compile(r"[^0-9a-z]+")
 MIN_TOKEN_LENGTH = 2
 
 
-def tokenize_value(value: Any, min_length: int = MIN_TOKEN_LENGTH) -> List[str]:
+def tokenize_value(
+    value: Any,
+    min_length: int = MIN_TOKEN_LENGTH,
+    numeric_min_length: Optional[int] = None,
+) -> List[str]:
     """Extract blocking tokens from one attribute value.
 
     ``None`` yields no tokens.  Non-strings are stringified first so
     numeric attributes still participate in schema-agnostic blocking.
+    With *numeric_min_length* set, purely-numeric tokens additionally
+    must reach that length — the optional numeric-noise filter; the
+    default (``None``) applies no numeric-specific rule.
     """
     if value is None:
         return []
     text = str(value).lower()
-    return [tok for tok in _TOKEN_SPLIT.split(text) if len(tok) >= min_length]
+    tokens = [tok for tok in _TOKEN_SPLIT.split(text) if len(tok) >= min_length]
+    if numeric_min_length is None:
+        return tokens
+    return [
+        tok
+        for tok in tokens
+        if len(tok) >= numeric_min_length or not tok.isdigit()
+    ]
 
 
 def tokenize_entity(
     attributes: Mapping[str, Any],
     exclude: Iterable[str] = (),
     min_length: int = MIN_TOKEN_LENGTH,
+    numeric_min_length: Optional[int] = None,
 ) -> Set[str]:
     """Distinct tokens across all attribute values of one entity.
 
@@ -46,13 +64,20 @@ def tokenize_entity(
     exclude:
         Attribute names to skip — the identifier column never contributes
         blocking keys (its values are unique by definition).
+    numeric_min_length:
+        Optional minimum length for purely-numeric tokens (see
+        :func:`tokenize_value`); ``None`` disables the numeric rule.
     """
     skip = {name.lower() for name in exclude}
     tokens: Set[str] = set()
     for name, value in attributes.items():
         if name.lower() in skip:
             continue
-        tokens.update(tokenize_value(value, min_length=min_length))
+        tokens.update(
+            tokenize_value(
+                value, min_length=min_length, numeric_min_length=numeric_min_length
+            )
+        )
     return tokens
 
 

@@ -40,8 +40,11 @@ from repro.parallel.tasks import (
     GraphTask,
     MatchPayload,
     MatchTask,
+    SpanPayload,
+    SpanTask,
     run_graph_task,
     run_match_task,
+    run_span_task,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -107,6 +110,14 @@ class ParallelComparisonExecutor:
             self.parallel
             and self.config.parallel_graph
             and collection.cardinality >= self.config.min_parallel_comparisons
+        )
+
+    def wants_parallel_spans(self, total_comparisons: int) -> bool:
+        """Whether a postings-span graph build should use the pool."""
+        return (
+            self.parallel
+            and self.config.parallel_graph
+            and total_comparisons >= self.config.min_parallel_comparisons
         )
 
     # -- matching --------------------------------------------------------
@@ -192,6 +203,43 @@ class ParallelComparisonExecutor:
         )
         return BlockingGraph.from_arrays(
             scheme, len(collection), universe, index_of, block_counts,
+            edge_keys, edge_stats,
+        )
+
+    def build_span_graph(
+        self,
+        members: Any,
+        indptr: Any,
+        sizes: Any,
+        universe: List[Any],
+        index_of: Dict[Any, int],
+        scheme: WeightingScheme,
+        in_focus: Optional[bytearray],
+    ) -> BlockingGraph:
+        """Packed graph from postings spans, sharded across the pool.
+
+        The columnar twin of :meth:`build_blocking_graph`: the
+        :class:`~repro.parallel.planner.PartitionPlanner` plans directly
+        over the blocks' cardinality array (no ``Block`` objects exist),
+        workers run
+        :func:`~repro.er.edge_pruning.generate_span_segments` on their
+        span, and the deterministic merge reassembles canonical block
+        order — bit-identical to the serial span build.
+        """
+        self.stats["parallel_graph_builds"] += 1
+        need_arcs = scheme is WeightingScheme.ARCS
+        cardinalities = (sizes * (sizes - 1) // 2).tolist()
+        partitions = self.planner.partition_costs(cardinalities)
+        payload = SpanPayload(members, indptr, len(universe), in_focus, need_arcs)
+        tasks = [SpanTask(p.index, p.start, p.stop) for p in partitions]
+        results = WorkerPool(self.workers, self.backend).run(
+            run_span_task, tasks, payload
+        )
+        edge_keys, edge_stats, block_counts = DeterministicMerger.merge_span_segments(
+            results, len(universe), need_arcs
+        )
+        return BlockingGraph.from_arrays(
+            scheme, len(indptr) - 1, universe, index_of, block_counts,
             edge_keys, edge_stats,
         )
 

@@ -17,6 +17,7 @@ from repro.er.edge_pruning import (
     _np,
     fold_packed_contributions,
     reduce_packed_segments,
+    reduce_span_segments,
 )
 from repro.er.matching import ProfileMatcher
 from repro.parallel.tasks import GraphResult, MatchResult
@@ -85,4 +86,33 @@ class DeterministicMerger:
                 if need_arcs and result.values is not None:
                     values.extend(result.values)
             edge_keys, edge_stats = fold_packed_contributions(keys, values, need_arcs)
+        return edge_keys, edge_stats, block_counts
+
+    @staticmethod
+    def merge_span_segments(
+        results: Iterable["GraphResult"], n: int, need_arcs: bool
+    ) -> Tuple[Any, Any, List[int]]:
+        """Span-build merge under the columnar pipeline's contract.
+
+        Same partition-order concatenation as
+        :meth:`merge_graph_segments`, reduced through
+        :func:`~repro.er.edge_pruning.reduce_span_segments`: the stable
+        key sort keeps per-key contributions in global block visit
+        order, so the merged arrays equal the serial span build's
+        exactly (sorted-key edge order, left-to-right per-key sums).
+        """
+        ordered = sorted(results, key=lambda r: r.partition)
+        block_counts = [0] * n
+        for result in ordered:
+            for position, count in result.touched_counts.items():
+                block_counts[position] += count
+        key_segments = [r.keys for r in ordered if len(r.keys)]
+        value_segments = (
+            [r.values for r in ordered if r.values is not None and len(r.values)]
+            if need_arcs
+            else []
+        )
+        edge_keys, edge_stats = reduce_span_segments(
+            key_segments, value_segments, need_arcs
+        )
         return edge_keys, edge_stats, block_counts

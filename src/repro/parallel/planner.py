@@ -86,11 +86,20 @@ class PartitionPlanner:
         average.  Oversized single blocks become singleton partitions —
         they cannot be split without breaking visit-order contiguity.
         """
-        costs = [max(1, block.cardinality) for block in blocks]
+        return self.partition_costs([max(1, block.cardinality) for block in blocks])
+
+    def partition_costs(self, costs: Sequence[int]) -> List[Partition]:
+        """Contiguous spans of a cost-weighted item sequence.
+
+        The cost-array twin of :meth:`partition_blocks` — the columnar
+        blocking pipeline plans directly over postings spans by handing
+        in each block's ||b|| without materializing ``Block`` objects.
+        """
+        costs = [max(1, int(cost)) for cost in costs]
         total = sum(costs)
-        parts = self._target_partitions(len(blocks))
+        parts = self._target_partitions(len(costs))
         if parts <= 1:
-            return [Partition(0, 0, len(blocks))] if blocks else []
+            return [Partition(0, 0, len(costs))] if costs else []
         partitions: List[Partition] = []
         start = 0
         accumulated = 0
@@ -108,6 +117,6 @@ class PartitionPlanner:
                 start = position + 1
                 remaining -= accumulated
                 accumulated = 0
-        if start < len(blocks):
-            partitions.append(Partition(len(partitions), start, len(blocks)))
+        if start < len(costs):
+            partitions.append(Partition(len(partitions), start, len(costs)))
         return partitions

@@ -22,6 +22,7 @@ from repro.er.edge_pruning import (
     _np,
     generate_packed_contributions,
     generate_packed_segments,
+    generate_span_segments,
 )
 from repro.er.matching import ProfileMatcher, ProfileSignature
 
@@ -159,6 +160,66 @@ class GraphResult:
     keys: Any
     values: Any
     touched_counts: Dict[int, int]
+
+
+class SpanPayload:
+    """Shared state of one partitioned postings-span graph build.
+
+    The columnar twin of :class:`GraphPayload`: instead of ``Block``
+    objects plus a dense-index dict, workers get two contiguous arrays
+    (universe-position members grouped by block, and the block index
+    pointer) — copy-on-write friendly and free of per-entity lookups.
+    """
+
+    __slots__ = ("members", "indptr", "n", "in_focus", "need_arcs")
+
+    def __init__(
+        self,
+        members: Any,
+        indptr: Any,
+        n: int,
+        in_focus: Optional[bytearray],
+        need_arcs: bool,
+    ):
+        self.members = members
+        self.indptr = indptr
+        self.n = n
+        self.in_focus = in_focus
+        self.need_arcs = need_arcs
+
+
+@dataclass(frozen=True)
+class SpanTask:
+    """One contiguous postings-block span whose pair segments a worker
+    generates."""
+
+    partition: int
+    start: int
+    stop: int
+
+
+def run_span_task(task: SpanTask) -> GraphResult:
+    """Worker entry: generate packed pair segments for one postings span."""
+    payload: SpanPayload = current_payload()  # type: ignore[assignment]
+    key_segments, value_segments, block_counts = generate_span_segments(
+        payload.members, payload.indptr, task.start, task.stop,
+        payload.n, payload.in_focus, payload.need_arcs,
+    )
+    keys = (
+        _np.concatenate(key_segments)
+        if key_segments
+        else _np.empty(0, dtype=_np.int64)
+    )
+    values = (
+        _np.concatenate(value_segments)
+        if payload.need_arcs and value_segments
+        else None
+    )
+    touched_positions = _np.nonzero(block_counts)[0]
+    touched = {
+        int(position): int(block_counts[position]) for position in touched_positions
+    }
+    return GraphResult(task.partition, keys, values, touched)
 
 
 def run_graph_task(task: GraphTask) -> GraphResult:
