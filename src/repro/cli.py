@@ -8,12 +8,19 @@ The paper positions QueryER as usable "directly ... over raw data files
          JOIN venues V ON P.venue = V.title WHERE P.venue = 'EDBT'"
 
 Each ``--csv`` file registers a table named after its stem (override
-with ``name=path``); the query result prints as an aligned table.
+with ``name=path``); the query result prints as an aligned table, or as
+one JSON object with ``--format json`` for machine consumers.
+
+``repro serve`` starts the engine-as-a-service HTTP layer instead of
+running one query (see :mod:`repro.serving`):
+
+    python -m repro serve --csv publications.csv --port 7531
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -64,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
         "1 forces serial; results are identical either way)",
     )
     parser.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="result rendering: aligned text table, or one JSON object "
+        "with columns/rows/timings for machine consumers (default: table)",
+    )
+    parser.add_argument(
         "--explain",
         action="store_true",
         help="print the chosen plan instead of executing",
@@ -82,9 +96,107 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="serve the engine over HTTP/JSON (see repro.serving)",
+    )
+    parser.add_argument(
+        "--csv",
+        action="append",
+        default=[],
+        metavar="[NAME=]PATH",
+        help="CSV file to register (repeatable); NAME defaults to the file stem",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7531,
+        help="bind port; 0 picks a free one and announces it (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.75,
+        help="schema-agnostic match threshold in [0, 1] (default: 0.75)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="parallel Comparison-Execution workers (default: auto-detect)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="admission bound: engine-bound requests beyond this are "
+        "refused with 503 + Retry-After (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="default per-request timeout -> 504 (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="result-cache capacity in entries; 0 disables (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the structured per-request JSON log lines on stderr",
+    )
+    return parser
+
+
+def run_serve(argv: Sequence[str], output=None) -> int:
+    """``repro serve``: start the HTTP service and block until interrupted."""
+    from repro.serving import EngineService, make_server
+
+    output = output if output is not None else sys.stdout
+    args = build_serve_parser().parse_args(argv)
+    if not args.csv:
+        print("error: at least one --csv table is required", file=sys.stderr)
+        return 2
+    engine = QueryEREngine(match_threshold=args.threshold, execution=args.workers)
+    for spec in args.csv:
+        name, _, path = spec.rpartition("=")
+        table = read_csv(path or spec, name=name or None)
+        engine.register(table)
+        print(f"registered table {table.name} ({len(table)} rows)", file=output)
+    service = EngineService(
+        engine,
+        max_inflight=args.max_inflight,
+        default_timeout=args.timeout,
+        cache_size=args.cache_size,
+        log_stream=None if args.quiet else sys.stderr,
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    print(f"serving on {server.url}", file=output, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=output)
+    finally:
+        server.server_close()
+    return 0
+
+
 def run(argv: Optional[Sequence[str]] = None, output=None) -> int:
     """CLI entry point; returns the process exit code."""
     output = output if output is not None else sys.stdout
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:], output=output)
     args = build_parser().parse_args(argv)
     if not args.csv:
         print("error: at least one --csv table is required", file=sys.stderr)
@@ -105,6 +217,9 @@ def run(argv: Optional[Sequence[str]] = None, output=None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
 
+    if args.format == "json":
+        print(_json_result(result), file=output)
+        return 0
     print(format_table(result.columns, result.rows), file=output)
     if args.stats:
         print(
@@ -118,6 +233,21 @@ def run(argv: Optional[Sequence[str]] = None, output=None) -> int:
         print(file=output)
         print(_profile_table(result), file=output)
     return 0
+
+
+def _json_result(result) -> str:
+    """One machine-readable JSON object per query, mirroring /query's shape."""
+    return json.dumps(
+        {
+            "columns": list(result.columns),
+            "rows": [list(row) for row in result.rows],
+            "row_count": len(result),
+            "comparisons": result.comparisons,
+            "elapsed_s": round(result.elapsed, 6),
+            "stage_times": {k: round(v, 6) for k, v in result.stage_times.items()},
+        },
+        default=str,
+    )
 
 
 def _profile_table(result) -> str:

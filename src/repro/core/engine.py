@@ -71,6 +71,22 @@ class QueryEREngine:
         the usable core count); on a single core — or below the
         configured work thresholds — execution is exactly the serial
         fast path.  Parallel DEDUP results are bit-identical to serial.
+
+    **Epoch/snapshot contract.**  The engine is the single source of
+    truth for per-table *epochs*: :meth:`register` and every ingested
+    batch (:meth:`insert` / ``INSERT INTO``) advance the table's epoch
+    counter, and nothing else does.  Tables are append-only, so one
+    epoch value denotes exactly one immutable prefix of the table — two
+    reads of the same table at the same epoch are reads of identical
+    data, and any result computed at epoch map *E* stays correct for as
+    long as :meth:`table_epochs` still equals *E*.  Consumers key every
+    derived artefact on the epoch: the parallel executor's
+    candidate-plan cache keys plans on ``(table, epoch, ...)`` (a bump
+    retires stale plans without enumerating them), and the serving
+    layer (:mod:`repro.serving`) stamps each response with the epoch
+    map it executed under and keys its result cache on
+    ``(normalized SQL, epochs)`` — epoch-stamped snapshot reads over
+    the append-only tables.
     """
 
     def __init__(
@@ -92,13 +108,16 @@ class QueryEREngine:
         # runs the exact pre-subsystem serial path, with zero scheduling
         # or caching layered on top.
         self._parallel: Optional[ParallelComparisonExecutor] = (
-            ParallelComparisonExecutor(self.execution) if self.execution.parallel else None
+            ParallelComparisonExecutor(self.execution, epoch_source=self.epoch_of)
+            if self.execution.parallel
+            else None
         )
         self.match_threshold = match_threshold
         self.use_link_index = use_link_index
         self.transitive = transitive
         self.sample_stats = sample_stats
         self._indices: Dict[str, TableIndex] = {}
+        self._epochs: Dict[str, int] = {}
         self._statistics: Dict[str, TableStatistics] = {}
         self._matchers: Dict[str, ProfileMatcher] = {}
         self._join_percentages: Dict[Tuple[str, str, str, str], Tuple[float, float]] = {}
@@ -124,6 +143,10 @@ class QueryEREngine:
         key = table.name.lower()
         if replace:
             self._purge_cached_state(key)
+        # Registration (fresh or replacing) opens a new epoch: any
+        # artefact keyed on a previous epoch of this name is now
+        # unservable by construction.
+        self._epochs[key] = self._epochs.get(key, 0) + 1
         self._indices[key] = index
         matcher = ProfileMatcher(
             threshold=self.match_threshold,
@@ -133,6 +156,23 @@ class QueryEREngine:
         if self.sample_stats:
             self._statistics[key] = TableStatistics(index, matcher)
         return index
+
+    # -- epochs ----------------------------------------------------------
+    def epoch_of(self, name: str) -> int:
+        """Current epoch of table *name* (0 if never registered).
+
+        The epoch advances on :meth:`register` and on every ingested
+        batch; see the class docstring for the snapshot contract.
+        """
+        return self._epochs.get(name.lower(), 0)
+
+    def table_epochs(self) -> Dict[str, int]:
+        """Snapshot of every registered table's current epoch.
+
+        The returned dict is a copy: it keeps describing the moment of
+        the call even as later inserts advance the live counters.
+        """
+        return dict(self._epochs)
 
     def _drop_join_percentages(self, key: str) -> None:
         self._join_percentages = {
@@ -145,30 +185,29 @@ class QueryEREngine:
         """Drop every cached per-table artefact derived from *key*'s index."""
         self._statistics.pop(key, None)
         self._drop_join_percentages(key)
-        if self._parallel is not None:
-            self._parallel.invalidate_table(key)
 
     def note_appended(self, name: str, count: int) -> None:
         """Invalidate estimates after *count* rows were ingested into *name*.
 
         Called by the :class:`~repro.incremental.IndexMaintainer` as the
-        statistics-refresh step: the duplication-factor sample is flagged
-        stale (recomputed lazily by :meth:`statistics_of`), cached join
+        statistics-refresh step: the table's epoch advances (which
+        retires every epoch-keyed artefact at once — the parallel
+        executor's candidate-plan cache and the serving layer's result
+        cache both key on it; a stale plan would make a parallel DEDUP
+        after ``INSERT INTO`` silently skip comparisons involving the
+        new rows), the duplication-factor sample is flagged stale
+        (recomputed lazily by :meth:`statistics_of`), and cached join
         percentages involving the table are dropped (recomputed lazily
-        by :meth:`join_percentage`), and the parallel executor's
-        candidate-plan cache revokes the table's partition plans — a
-        stale plan would make a parallel DEDUP after ``INSERT INTO``
-        silently skip comparisons involving the new rows.
+        by :meth:`join_percentage`).
         """
         if count <= 0:
             return
         key = name.lower()
+        self._epochs[key] = self._epochs.get(key, 0) + 1
         statistics = self._statistics.get(key)
         if statistics is not None:
             statistics.mark_appended(count)
         self._drop_join_percentages(key)
-        if self._parallel is not None:
-            self._parallel.invalidate_table(key)
 
     def index_of(self, name: str) -> TableIndex:
         """The :class:`TableIndex` of a registered table."""

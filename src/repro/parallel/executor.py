@@ -18,15 +18,30 @@ It also owns the *candidate-plan cache*: the deterministic candidate-pair
 list derived for a (table, frontier, meta-blocking) triple, reused when
 the same frontier is re-resolved (sustained query traffic repeats
 frontiers; without the Link Index every repeat would re-derive the
-identical plan).  Cached plans describe a table *version*: the engine
-must call :meth:`invalidate_table` after every append and
-:meth:`invalidate` when benchmark runs demand cold state — a stale plan
-would silently miss pairs involving freshly ingested rows.
+identical plan).  Cached plans describe a table *version*: each plan is
+keyed on the table's epoch, so advancing the epoch retires stale plans
+— which would silently miss pairs involving freshly ingested rows —
+without enumerating them.  When the executor serves an engine, the
+engine's per-table epoch counter (``QueryEREngine.epoch_of``, bumped on
+``register`` and every insert) is that version, passed in as
+``epoch_source``; a standalone executor falls back to a private counter
+advanced by :meth:`invalidate_table`.  :meth:`invalidate` drops the
+whole cache when benchmark runs demand cold state.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.er.edge_pruning import BlockingGraph, WeightingScheme, prepare_packed_universe
 from repro.er.matching import ProfileMatcher, ProfileSignature
@@ -74,9 +89,19 @@ class ParallelComparisonExecutor:
     One executor serves one engine for its whole lifetime; pools are
     created per invocation (a forked child snapshots its parent, and
     snapshots must not outlive the tables they mirror).
+
+    *epoch_source* maps a lower-cased table name to its current epoch
+    and is consulted on every plan-cache access; an engine passes its
+    ``epoch_of`` so the engine's counter is the single source of truth.
+    Without one (standalone executors, as in unit tests) a private
+    fallback counter is kept, advanced by :meth:`invalidate_table`.
     """
 
-    def __init__(self, config: Optional[ExecutionConfig] = None):
+    def __init__(
+        self,
+        config: Optional[ExecutionConfig] = None,
+        epoch_source: Optional[Callable[[str], int]] = None,
+    ):
         self.config = config or ExecutionConfig()
         self.workers = self.config.resolved_workers()
         self.backend = self.config.resolved_backend()
@@ -86,7 +111,8 @@ class ParallelComparisonExecutor:
             if self.config.candidate_cache_size > 0
             else None
         )
-        self._epochs: Dict[str, int] = {}
+        self._epoch_source = epoch_source
+        self._fallback_epochs: Dict[str, int] = {}
         #: Instrumentation: how invocations were scheduled.
         self.stats = {
             "parallel_match_runs": 0,
@@ -271,22 +297,32 @@ class ParallelComparisonExecutor:
             self._plan_key(table_name, frontier, fingerprint), pairs
         )
 
+    def epoch_of(self, table_name: str) -> int:
+        """The epoch a plan for *table_name* would be keyed on right now."""
+        key = table_name.lower()
+        if self._epoch_source is not None:
+            return self._epoch_source(key)
+        return self._fallback_epochs.get(key, 0)
+
     def _plan_key(self, table_name: str, frontier: Set[Any], fingerprint: Any):
         key = table_name.lower()
         # The frozen frontier participates directly (no digests): a plan
         # must never be served for a merely hash-equal frontier.
-        return (key, self._epochs.get(key, 0), fingerprint, frozenset(frontier))
+        return (key, self.epoch_of(key), fingerprint, frozenset(frontier))
 
     def invalidate_table(self, table_name: str) -> None:
         """Revoke every cached plan describing *table_name*.
 
-        Called by the engine after appends (and on ``replace=True``
-        re-registration): the epoch in the plan key advances, so stale
-        partition plans — which would miss pairs involving the new
-        records — can never be served again.
+        With an engine-provided ``epoch_source`` this is a no-op: the
+        engine's epoch counter advances on register/insert, which
+        retires stale partition plans — ones that would miss pairs
+        involving the new records — by construction.  Standalone
+        executors advance the private fallback counter instead.
         """
+        if self._epoch_source is not None:
+            return
         key = table_name.lower()
-        self._epochs[key] = self._epochs.get(key, 0) + 1
+        self._fallback_epochs[key] = self._fallback_epochs.get(key, 0) + 1
 
     def invalidate(self) -> None:
         """Drop all cached per-partition state (cold-start contract)."""

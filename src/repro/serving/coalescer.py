@@ -1,0 +1,93 @@
+"""In-flight request coalescing (single-flight execution).
+
+Sustained query traffic repeats itself: N clients refreshing the same
+dashboard issue N identical DEDUP queries in the same second.  Without
+coalescing each one runs the full blocking/matching pipeline; with it,
+the first arrival (the *leader*) executes and every concurrent
+duplicate (the *followers*) blocks on the leader's outcome and shares
+it — N requests, one execution.
+
+The flight key is the caller's business (the service uses the
+normalized SQL + mode, deliberately *without* the epoch snapshot: a
+follower wants whatever snapshot the leader executes against, which is
+at least as fresh as its own arrival time).  Followers honour a
+per-request timeout; a leader's exception propagates to every follower
+of that flight.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+
+class CoalesceTimeout(Exception):
+    """A follower's wait for its flight's leader exceeded the timeout."""
+
+
+class _Flight:
+    __slots__ = ("done", "value", "error", "followers")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class SingleFlight:
+    """Duplicate-call suppressor: one execution per key at a time."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[Hashable, _Flight] = {}
+        self.stats = {"flights": 0, "coalesced": 0, "timeouts": 0}
+
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    def run(
+        self,
+        key: Hashable,
+        supplier: Callable[[], Any],
+        timeout: float | None = None,
+    ) -> Tuple[Any, bool]:
+        """Execute *supplier* once per concurrent *key*.
+
+        Returns ``(value, coalesced)``: ``coalesced`` is False for the
+        leader that actually ran *supplier* and True for followers that
+        shared its result.  *timeout* bounds only the follower's wait —
+        the leader runs to completion (there is no safe way to abort an
+        engine execution mid-pipeline; admission control bounds how
+        many such executions exist at once).
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.followers += 1
+                self.stats["coalesced"] += 1
+            else:
+                flight = self._flights[key] = _Flight()
+                self.stats["flights"] += 1
+            leader = flight.followers == 0
+
+        if not leader:
+            if not flight.done.wait(timeout):
+                with self._lock:
+                    self.stats["timeouts"] += 1
+                raise CoalesceTimeout(f"coalesced request timed out after {timeout}s")
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, True
+
+        try:
+            flight.value = supplier()
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._lock:
+                del self._flights[key]
+            flight.done.set()
+        return flight.value, False

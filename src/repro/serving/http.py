@@ -1,0 +1,174 @@
+"""Stdlib HTTP/JSON transport for :class:`~repro.serving.service.EngineService`.
+
+A :class:`ThreadingHTTPServer` (one thread per connection, daemon
+threads) exposing:
+
+``GET /healthz``
+    Liveness + the current table/epoch map.
+``GET /metrics``
+    Request counters, cache and coalescer statistics, p50/p99 latency
+    per pipeline stage.
+``POST /query``
+    Body ``{"sql": ..., "mode"?: "aes", "timeout"?: seconds}``.
+    SELECTs answer at one epoch snapshot; ``INSERT INTO`` SQL routes to
+    the write path.  Responses carry the epoch stamp and whether the
+    answer was a cache hit, a coalesced share, or a fresh execution.
+``POST /insert``
+    Body ``{"table": ..., "rows": [[...], ...], "columns"?: [...]}`` —
+    the programmatic twin of ``INSERT INTO``.
+
+Failure contract: malformed requests are 400, unknown paths 404,
+overload 503 with a ``Retry-After`` header (admission refused — the
+service sheds load instead of queueing into collapse), and expired
+per-request timeouts 504.  Every response is JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serving.service import EngineService, OverloadError, RequestTimeout
+from repro.sql.lexer import LexError
+from repro.sql.parser import ParseError
+from repro.storage.schema import SchemaError
+
+#: Maximum accepted request body; anything larger is refused outright
+#: (a malformed Content-Length must not let one client balloon memory).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server owning one :class:`EngineService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: EngineService):
+        super().__init__(address, ServingHandler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class ServingHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    # Small JSON request/response pairs over keep-alive connections are
+    # exactly the traffic shape Nagle + delayed-ACK punishes (~40 ms per
+    # round trip); serving latency is real latency, so turn it off.
+    disable_nagle_algorithm = True
+    server: ServingHTTPServer
+
+    # -- routes ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send(200, service.healthz())
+        elif self.path == "/metrics":
+            self._send(200, service.metrics_snapshot())
+        else:
+            self._send(404, {"error": f"no such endpoint: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path == "/query":
+            self._handle(self._query)
+        elif self.path == "/insert":
+            self._handle(self._insert)
+        else:
+            self._send(404, {"error": f"no such endpoint: {self.path}"})
+
+    # -- handlers --------------------------------------------------------
+    def _query(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        sql = body.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise ValueError("body must carry a non-empty 'sql' string")
+        served = self.server.service.execute(
+            sql,
+            mode=body.get("mode", "aes"),
+            timeout=_optional_seconds(body.get("timeout")),
+        )
+        return served.as_dict()
+
+    def _insert(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        table = body.get("table")
+        rows = body.get("rows")
+        if not isinstance(table, str) or not isinstance(rows, list):
+            raise ValueError("body must carry 'table' (string) and 'rows' (list)")
+        return self.server.service.insert_rows(
+            table,
+            rows,
+            columns=body.get("columns"),
+            timeout=_optional_seconds(body.get("timeout")),
+        )
+
+    # -- plumbing --------------------------------------------------------
+    def _handle(self, handler) -> None:
+        try:
+            payload = handler(self._read_body())
+        except OverloadError as error:
+            self._send(
+                503,
+                {"error": str(error), "retry_after_s": error.retry_after},
+                extra_headers={"Retry-After": str(max(1, int(error.retry_after)))},
+            )
+        except RequestTimeout as error:
+            self._send(504, {"error": str(error)})
+        except (ValueError, KeyError, TypeError, ParseError, LexError, SchemaError) as error:
+            self._send(400, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive catch-all
+            self._send(500, {"error": f"internal error: {error}"})
+        else:
+            self._send(200, payload)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ValueError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    def _send(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Suppressed: the service emits structured JSON request logs."""
+
+
+def _optional_seconds(value: Any) -> Optional[float]:
+    if value is None:
+        return None
+    seconds = float(value)
+    if seconds <= 0:
+        raise ValueError("timeout must be positive seconds")
+    return seconds
+
+
+def make_server(
+    service: EngineService, host: str = "127.0.0.1", port: int = 0
+) -> ServingHTTPServer:
+    """A bound (not yet serving) server; ``port=0`` picks a free port."""
+    return ServingHTTPServer((host, port), service)

@@ -1,0 +1,110 @@
+"""Service observability: counters and per-stage latency percentiles.
+
+The per-stage recorders reuse the engine's ``--profile`` plumbing: every
+DEDUP execution already reports a stage→seconds breakdown
+(``QueryResult.stage_times``), and the service feeds each stage's
+seconds into its own :class:`LatencyRecorder` next to the end-to-end
+``total`` — so ``/metrics`` answers "where does p99 go" with the same
+stage vocabulary the CLI's profile table prints.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class LatencyRecorder:
+    """Sliding window of latency samples with exact window percentiles.
+
+    A fixed-capacity ring buffer: cheap O(1) inserts on the hot path,
+    percentiles computed over the most recent ``capacity`` samples at
+    snapshot time (sorting 2048 floats is microseconds — snapshots are
+    rare, requests are not).
+    """
+
+    __slots__ = ("capacity", "_samples", "_cursor", "_count", "_total")
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError("recorder capacity must be at least 1")
+        self.capacity = capacity
+        self._samples: List[float] = []
+        self._cursor = 0
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._count += 1
+        self._total += seconds
+        if len(self._samples) < self.capacity:
+            self._samples.append(seconds)
+            return
+        self._samples[self._cursor] = seconds
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def percentile(self, p: float) -> Optional[float]:
+        """The *p*-th percentile (nearest-rank) of the current window."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = max(1, -(-len(ordered) * int(p) // 100))  # ceil without floats
+        rank = min(rank, len(ordered))
+        return ordered[rank - 1]
+
+    def snapshot(self) -> Dict[str, Any]:
+        if not self._samples:
+            return {"count": 0}
+        return {
+            "count": self._count,
+            "mean_ms": round(1000.0 * self._total / self._count, 3),
+            "p50_ms": round(1000.0 * (self.percentile(50) or 0.0), 3),
+            "p99_ms": round(1000.0 * (self.percentile(99) or 0.0), 3),
+        }
+
+
+class ServiceMetrics:
+    """Lock-guarded counters + latency recorders for one service."""
+
+    def __init__(self, window: int = 2048):
+        self._lock = threading.Lock()
+        self._window = window
+        self._counters: Dict[str, int] = {}
+        self._latency: Dict[str, LatencyRecorder] = {}
+        self._started = time.time()
+
+    def increment(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def observe(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            recorder = self._latency.get(stage)
+            if recorder is None:
+                recorder = self._latency[stage] = LatencyRecorder(self._window)
+            recorder.record(seconds)
+
+    def observe_stages(self, total_seconds: float, stage_times: Dict[str, float]) -> None:
+        """One request's end-to-end latency plus its per-stage breakdown."""
+        with self._lock:
+            for stage, seconds in [("total", total_seconds), *stage_times.items()]:
+                recorder = self._latency.get(stage)
+                if recorder is None:
+                    recorder = self._latency[stage] = LatencyRecorder(self._window)
+                recorder.record(seconds)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "uptime_s": round(time.time() - self._started, 3),
+                "counters": dict(sorted(self._counters.items())),
+                "latency": {
+                    stage: recorder.snapshot()
+                    for stage, recorder in sorted(self._latency.items())
+                },
+            }

@@ -1,0 +1,378 @@
+"""The engine-as-a-service core: admission, snapshot reads, caching.
+
+:class:`EngineService` wraps one long-lived
+:class:`~repro.core.engine.QueryEREngine` and makes it safe and fast to
+share.  Transport-agnostic: the HTTP layer (:mod:`repro.serving.http`),
+tests and benchmarks all call the same :meth:`query` / :meth:`insert`
+entry points.
+
+Concurrency model
+-----------------
+The engine itself is a single-caller library — a DEDUP execution
+mutates shared state (the progressive-cleaning Link Index, matcher
+memos, lazily refreshed statistics), so raw engine calls are serialized
+behind one *engine gate*.  Concurrency is won **above** the gate:
+
+* **result cache** — epoch-keyed snapshot answers
+  (:mod:`repro.serving.cache`) are served without touching the engine
+  or its gate at all;
+* **single-flight coalescing** — concurrent identical queries share
+  one gated execution (:mod:`repro.serving.coalescer`);
+* **admission control** — at most ``max_inflight`` requests may hold
+  or wait for the gate; the rest are refused immediately with
+  :class:`OverloadError` (HTTP 503 + Retry-After) instead of queueing
+  into collapse;
+* **per-request timeout** — a request gives up (:class:`RequestTimeout`,
+  HTTP 504) rather than wait on the gate forever; an execution already
+  running always completes, so its result still warms the cache.
+
+Every response is stamped with the epoch map it executed under
+(:meth:`QueryEREngine.table_epochs` read *inside* the gate, so the
+stamp provably describes the executed snapshot).  ``INSERT INTO`` takes
+the same gate, bumps the affected table's epoch, and explicitly evicts
+the now-stale cache entries — readers before and after an insert each
+see one consistent epoch's answer, never torn state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Optional, Tuple, Union
+
+from repro.core.engine import QueryEREngine
+from repro.core.planner import ExecutionMode
+from repro.serving.cache import CachedResult, ResultCache, result_key
+from repro.serving.coalescer import CoalesceTimeout, SingleFlight
+from repro.serving.metrics import ServiceMetrics
+from repro.sql import ast, normalize_sql
+from repro.sql.parser import parse
+
+
+class OverloadError(Exception):
+    """Admission refused: the service is at its inflight capacity."""
+
+    def __init__(self, inflight: int, limit: int, retry_after: float = 1.0):
+        super().__init__(
+            f"service overloaded: {inflight} requests in flight (limit {limit})"
+        )
+        self.retry_after = retry_after
+
+
+class RequestTimeout(Exception):
+    """The request's wait (gate queue or coalesced flight) expired."""
+
+
+@dataclass(frozen=True)
+class ServedQuery:
+    """One answered query: the result plus its serving provenance."""
+
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Any, ...], ...]
+    comparisons: int
+    elapsed_s: float
+    #: Epoch snapshot the answer describes (see the engine's contract).
+    epochs: Dict[str, int]
+    #: How the answer was produced: executed fresh ("miss"), shared a
+    #: concurrent execution ("coalesced"), or served from cache ("hit").
+    cache: str
+    normalized_sql: str
+    stage_times: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "row_count": len(self.rows),
+            "comparisons": self.comparisons,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "epochs": dict(self.epochs),
+            "cache": self.cache,
+            "stage_times": {k: round(v, 6) for k, v in self.stage_times.items()},
+            "sql": self.normalized_sql,
+        }
+
+
+class EngineService:
+    """Concurrent facade over one long-lived :class:`QueryEREngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve.  The service assumes sole ownership: all
+        concurrent access must go through :meth:`query`/:meth:`insert`.
+    max_inflight:
+        Admission bound — requests needing the engine beyond this many
+        are refused with :class:`OverloadError`.  Cache hits are never
+        refused (they cost microseconds and touch no engine state).
+    default_timeout:
+        Per-request seconds a caller waits for the engine gate or a
+        coalesced flight before :class:`RequestTimeout`; overridable
+        per request, ``None`` waits forever.
+    cache_size:
+        Result-cache capacity in entries (``0`` disables caching).
+    log_stream:
+        Where structured per-request JSON lines go (``None`` disables).
+    """
+
+    def __init__(
+        self,
+        engine: QueryEREngine,
+        max_inflight: int = 8,
+        default_timeout: Optional[float] = 30.0,
+        cache_size: int = 256,
+        log_stream: Optional[IO[str]] = None,
+    ):
+        self.engine = engine
+        self.max_inflight = max_inflight
+        self.default_timeout = default_timeout
+        self.metrics = ServiceMetrics()
+        self.cache = ResultCache(cache_size)
+        self.flights = SingleFlight()
+        self._gate = threading.Lock()
+        self._admission = threading.Lock()
+        self._inflight = 0
+        self._log_stream = log_stream
+        self._log_lock = threading.Lock()
+        self._started = time.time()
+
+    # -- public entry points --------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        mode: Union[ExecutionMode, str] = ExecutionMode.AES,
+        timeout: Optional[float] = None,
+    ) -> ServedQuery:
+        """Serve one SQL statement: SELECTs read, ``INSERT INTO`` writes."""
+        statement = parse(sql)  # surfaces ParseError/LexError as HTTP 400
+        if isinstance(statement, ast.InsertStatement):
+            return self.insert_sql(sql, timeout=timeout)
+        return self.query(sql, mode=mode, timeout=timeout)
+
+    def query(
+        self,
+        sql: str,
+        mode: Union[ExecutionMode, str] = ExecutionMode.AES,
+        timeout: Optional[float] = None,
+    ) -> ServedQuery:
+        """Answer a read-only query at one consistent epoch snapshot."""
+        started = time.perf_counter()
+        mode_name = mode.value if isinstance(mode, ExecutionMode) else str(mode)
+        timeout = self.default_timeout if timeout is None else timeout
+        normalized = normalize_sql(sql)
+        self.metrics.increment("queries_total")
+
+        # Fast path: a cached answer for the current epochs needs no
+        # admission, no gate and no engine.  The unlocked epoch read is
+        # safe: whatever map we observe, the entry it keys was computed
+        # at exactly those epochs (the answer is stamped to prove it).
+        entry = self.cache.get(result_key(normalized, mode_name, self.engine.table_epochs()))
+        if entry is not None:
+            served = self._served(entry, "hit", normalized, started)
+            self._record(served)
+            return served
+
+        self._admit()
+        try:
+            outcome, coalesced = self.flights.run(
+                (normalized, mode_name),
+                lambda: self._execute_gated(sql, normalized, mode_name, timeout),
+                timeout=timeout,
+            )
+        except CoalesceTimeout:
+            self.metrics.increment("timeouts")
+            raise RequestTimeout(
+                f"timed out after {timeout}s waiting for a coalesced execution"
+            ) from None
+        finally:
+            self._release()
+        entry, freshly_executed = outcome
+        label = "coalesced" if coalesced else ("miss" if freshly_executed else "hit")
+        served = self._served(entry, label, normalized, started)
+        self._record(served)
+        return served
+
+    def insert_sql(self, sql: str, timeout: Optional[float] = None) -> ServedQuery:
+        """Run an ``INSERT INTO`` statement with cache invalidation."""
+        started = time.perf_counter()
+        timeout = self.default_timeout if timeout is None else timeout
+        normalized = normalize_sql(sql)
+        self.metrics.increment("inserts_total")
+        self._admit()
+        try:
+            self._acquire_gate(timeout)
+            try:
+                result = self.engine.execute(sql)
+                epochs = self.engine.table_epochs()
+                # Explicit invalidation: the epoch advance already made
+                # stale entries unreachable; this frees their memory now.
+                self.cache.evict_stale(epochs)
+            finally:
+                self._gate.release()
+        finally:
+            self._release()
+        served = ServedQuery(
+            columns=tuple(result.columns),
+            rows=tuple(tuple(row) for row in result.rows),
+            comparisons=result.comparisons,
+            elapsed_s=time.perf_counter() - started,
+            epochs=epochs,
+            cache="write",
+            normalized_sql=normalized,
+            stage_times=dict(result.stage_times),
+        )
+        self._record(served)
+        return served
+
+    def insert_rows(
+        self,
+        table: str,
+        rows: Any,
+        columns: Optional[Any] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Programmatic twin of :meth:`insert_sql` for the /insert endpoint."""
+        started = time.perf_counter()
+        timeout = self.default_timeout if timeout is None else timeout
+        self.metrics.increment("inserts_total")
+        self._admit()
+        try:
+            self._acquire_gate(timeout)
+            try:
+                outcome = self.engine.insert(
+                    table, [tuple(row) for row in rows], columns=columns
+                )
+                epochs = self.engine.table_epochs()
+                self.cache.evict_stale(epochs)
+            finally:
+                self._gate.release()
+        finally:
+            self._release()
+        payload = {
+            "table": outcome.table,
+            "inserted": outcome.inserted,
+            "touched_blocks": outcome.touched_blocks,
+            "invalidated": outcome.invalidated,
+            "epochs": epochs,
+            "elapsed_s": round(time.perf_counter() - started, 6),
+        }
+        self._log({"event": "insert", **payload})
+        return payload
+
+    # -- observability ---------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self._started, 3),
+            "tables": sorted(self.engine.table_epochs()),
+            "epochs": self.engine.table_epochs(),
+            "inflight": self._inflight,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.snapshot()
+        snapshot["coalescer"] = dict(self.flights.stats)
+        snapshot["inflight"] = self._inflight
+        snapshot["max_inflight"] = self.max_inflight
+        snapshot["epochs"] = self.engine.table_epochs()
+        return snapshot
+
+    # -- internals -------------------------------------------------------
+    def _execute_gated(
+        self, sql: str, normalized: str, mode_name: str, timeout: Optional[float]
+    ) -> Tuple[CachedResult, bool]:
+        """Leader body: execute under the gate at a provable snapshot.
+
+        Returns ``(entry, freshly_executed)`` — the double-check inside
+        the gate can still find a cache entry another leader stored
+        while this request waited, in which case nothing executes.
+        """
+        self._acquire_gate(timeout)
+        try:
+            epochs = self.engine.table_epochs()
+            key = result_key(normalized, mode_name, epochs)
+            entry = self.cache.get(key)
+            if entry is not None:
+                return entry, False
+            result = self.engine.execute(sql, mode_name)
+            entry = CachedResult(
+                columns=tuple(result.columns),
+                rows=tuple(tuple(row) for row in result.rows),
+                comparisons=result.comparisons,
+                stage_times=dict(result.stage_times),
+                epochs=epochs,
+                elapsed_s=result.elapsed,
+                plan_description=result.plan_description,
+            )
+            self.cache.put(key, entry)
+            self.metrics.increment("executions")
+            return entry, True
+        finally:
+            self._gate.release()
+
+    def _acquire_gate(self, timeout: Optional[float]) -> None:
+        acquired = (
+            self._gate.acquire()
+            if timeout is None
+            else self._gate.acquire(timeout=timeout)
+        )
+        if not acquired:
+            self.metrics.increment("timeouts")
+            raise RequestTimeout(f"timed out after {timeout}s waiting for the engine")
+
+    def _admit(self) -> None:
+        with self._admission:
+            if self._inflight >= self.max_inflight:
+                self.metrics.increment("rejected_overload")
+                raise OverloadError(self._inflight, self.max_inflight)
+            self._inflight += 1
+
+    def _release(self) -> None:
+        with self._admission:
+            self._inflight -= 1
+
+    def _served(
+        self, entry: CachedResult, label: str, normalized: str, started: float
+    ) -> ServedQuery:
+        return ServedQuery(
+            columns=entry.columns,
+            rows=entry.rows,
+            comparisons=entry.comparisons,
+            elapsed_s=time.perf_counter() - started,
+            epochs=dict(entry.epochs),
+            cache=label,
+            normalized_sql=normalized,
+            stage_times=dict(entry.stage_times),
+        )
+
+    def _record(self, served: ServedQuery) -> None:
+        self.metrics.increment(f"cache_{served.cache}")
+        # Stage latencies only for fresh executions: a cache hit has no
+        # stages, and double-counting the leader's breakdown for every
+        # coalesced follower would skew the percentiles.
+        stage_times = served.stage_times if served.cache == "miss" else {}
+        self.metrics.observe_stages(served.elapsed_s, stage_times)
+        self._log(
+            {
+                "event": "query",
+                "sql": served.normalized_sql,
+                "cache": served.cache,
+                "rows": len(served.rows),
+                "comparisons": served.comparisons,
+                "elapsed_ms": round(1000.0 * served.elapsed_s, 3),
+                "epochs": served.epochs,
+            }
+        )
+
+    def _log(self, record: Dict[str, Any]) -> None:
+        if self._log_stream is None:
+            return
+        line = json.dumps(
+            {"ts": round(time.time(), 3), **record}, sort_keys=False, default=str
+        )
+        with self._log_lock:
+            self._log_stream.write(line + "\n")
+            self._log_stream.flush()

@@ -21,6 +21,7 @@ from repro.sql.logical import (
     LogicalLimit,
     LogicalSort,
 )
+from repro.sql.normalize import normalize_sql
 from repro.sql.planner import RelationalPlanner
 from repro.sql.executor import QueryResult, execute_plan
 
@@ -40,6 +41,7 @@ __all__ = [
     "LogicalProject",
     "LogicalLimit",
     "LogicalSort",
+    "normalize_sql",
     "RelationalPlanner",
     "QueryResult",
     "execute_plan",

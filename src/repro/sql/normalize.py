@@ -1,0 +1,79 @@
+"""SQL canonicalization for cache keys.
+
+:func:`normalize_sql` maps every spelling of the same query to one
+canonical string, so the serving layer's result cache (and anything
+else keying on query text) gets a hit for ``select dedup *`` vs
+``SELECT   DEDUP *``.  The transform is deliberately *syntactic* — no
+parsing, no reordering — because a cache key must never unify two
+queries the engine could answer differently:
+
+* everything outside single-quoted string literals is case-folded to
+  lower case (the dialect's keywords and identifiers are both
+  case-insensitive — ``Catalog`` and column lookups lower-case names);
+* runs of whitespace outside literals collapse to a single space, and
+  whitespace adjacent to punctuation (``, ( ) = < > !``) is dropped;
+* string literals are preserved **byte for byte**, including case,
+  internal whitespace and escaped quotes (``''``) — ``'EDBT'`` and
+  ``'edbt'`` are different predicates;
+* insignificant trailing semicolons and surrounding whitespace are
+  stripped.
+
+An unterminated literal makes the remainder of the text a literal
+(preserved verbatim); the parser rejects such queries later with a
+proper error, and two equal malformed texts still normalize equally.
+"""
+
+from __future__ import annotations
+
+#: Characters the dialect treats as self-delimiting punctuation; spaces
+#: around them carry no meaning, so the canonical form has none.
+_PUNCTUATION = set(",()=<>!")
+
+
+def normalize_sql(sql: str) -> str:
+    """The canonical cache-key spelling of *sql* (see module docstring)."""
+    out: list[str] = []
+    length = len(sql)
+    position = 0
+    pending_space = False
+    while position < length:
+        char = sql[position]
+        if char == "'":
+            # Copy the literal verbatim, handling '' escapes; an
+            # unterminated literal runs to end-of-text.
+            end = position + 1
+            while end < length:
+                if sql[end] == "'":
+                    if end + 1 < length and sql[end + 1] == "'":
+                        end += 2
+                        continue
+                    end += 1
+                    break
+                end += 1
+            else:
+                end = length
+            if pending_space and out and out[-1][-1] not in _PUNCTUATION:
+                out.append(" ")
+            pending_space = False
+            out.append(sql[position:end])
+            position = end
+            continue
+        if char.isspace():
+            pending_space = True
+            position += 1
+            continue
+        if char in _PUNCTUATION:
+            # Punctuation absorbs surrounding whitespace.
+            pending_space = False
+            out.append(char)
+            position += 1
+            continue
+        if pending_space and out and out[-1][-1] not in _PUNCTUATION:
+            out.append(" ")
+        pending_space = False
+        out.append(char.lower())
+        position += 1
+    normalized = "".join(out).strip()
+    while normalized.endswith(";"):
+        normalized = normalized[:-1].rstrip()
+    return normalized

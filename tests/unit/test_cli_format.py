@@ -1,0 +1,102 @@
+"""Unit tests for ``--format {table,json}`` and the ``serve`` entry point."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_serve_parser, run
+from repro.core.engine import QueryEREngine
+from repro.datagen import generate_dsd
+from repro.storage.csv_io import write_csv
+
+
+@pytest.fixture(scope="module")
+def csv_path(tmp_path_factory):
+    table, _ = generate_dsd(120, seed=55)
+    path = tmp_path_factory.mktemp("cli_format") / "papers.csv"
+    write_csv(table, path)
+    return path
+
+
+class TestJsonFormat:
+    def test_plain_query_json(self, csv_path):
+        out = io.StringIO()
+        code = run(
+            [
+                "SELECT id, title FROM papers LIMIT 3",
+                "--csv",
+                str(csv_path),
+                "--format",
+                "json",
+            ],
+            output=out,
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert payload["columns"] == ["id", "title"]
+        assert payload["row_count"] == 3
+        assert len(payload["rows"]) == 3
+        assert payload["elapsed_s"] >= 0
+
+    def test_dedup_query_json_carries_er_metrics(self, csv_path):
+        out = io.StringIO()
+        code = run(
+            [
+                "SELECT DEDUP id, venue FROM papers WHERE venue = 'edbt'",
+                "--csv",
+                str(csv_path),
+                "--format",
+                "json",
+            ],
+            output=out,
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert payload["comparisons"] > 0
+        assert payload["stage_times"]  # the --profile plumbing, machine-readable
+
+    def test_json_rows_match_library_mode(self, csv_path):
+        out = io.StringIO()
+        run(
+            [
+                "SELECT DEDUP id, venue FROM papers WHERE venue = 'edbt'",
+                "--csv",
+                str(csv_path),
+                "--format",
+                "json",
+                "--workers",
+                "1",
+            ],
+            output=out,
+        )
+        payload = json.loads(out.getvalue())
+
+        from repro.storage.csv_io import read_csv
+
+        engine = QueryEREngine(execution=1)
+        engine.register(read_csv(csv_path, name="papers"))
+        expected = engine.execute("SELECT DEDUP id, venue FROM papers WHERE venue = 'edbt'")
+        assert sorted(map(tuple, payload["rows"])) == sorted(
+            tuple(row) for row in expected.rows
+        )
+
+    def test_table_format_is_default(self, csv_path):
+        out = io.StringIO()
+        code = run(
+            ["SELECT id FROM papers LIMIT 1", "--csv", str(csv_path)], output=out
+        )
+        assert code == 0
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out.getvalue())
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_serve_parser().parse_args(["--csv", "x.csv"])
+        assert args.port == 7531
+        assert args.max_inflight == 8
+        assert args.cache_size == 256
+
+    def test_serve_requires_csv(self):
+        assert run(["serve"], output=io.StringIO()) == 2

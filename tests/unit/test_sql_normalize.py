@@ -1,0 +1,77 @@
+"""Unit tests for the cache-key SQL canonicalizer."""
+
+import pytest
+
+from repro.sql import normalize_sql, parse
+
+
+class TestNormalizeSql:
+    def test_case_folds_keywords_and_identifiers(self):
+        assert (
+            normalize_sql("SELECT Dedup Id, TITLE FROM Papers")
+            == "select dedup id,title from papers"
+        )
+
+    def test_collapses_whitespace(self):
+        assert (
+            normalize_sql("select \t dedup *\n  from   p")
+            == "select dedup * from p"
+        )
+
+    def test_equal_queries_share_one_spelling(self):
+        variants = [
+            "SELECT DEDUP id , title FROM P WHERE venue = 'EDBT'",
+            "select dedup id,title from p where venue='EDBT'",
+            "Select Dedup ID, Title\nFROM p\nWHERE Venue = 'EDBT';",
+        ]
+        keys = {normalize_sql(sql) for sql in variants}
+        assert keys == {"select dedup id,title from p where venue='EDBT'"}
+
+    def test_literal_case_is_preserved(self):
+        assert normalize_sql("SELECT * FROM P WHERE v = 'EDBT'").endswith("'EDBT'")
+        # Literal case distinguishes predicates: these must NOT unify.
+        assert normalize_sql("SELECT * FROM p WHERE v = 'a'") != normalize_sql(
+            "SELECT * FROM p WHERE v = 'A'"
+        )
+
+    def test_literal_internal_whitespace_is_preserved(self):
+        sql = "SELECT * FROM p WHERE v = 'two  spaces\tand tab'"
+        assert "'two  spaces\tand tab'" in normalize_sql(sql)
+
+    def test_escaped_quote_stays_inside_literal(self):
+        # '' is an escaped quote: the AND is literal text, not a keyword.
+        sql = "SELECT * FROM p WHERE v = 'it''s AND X'"
+        assert "'it''s AND X'" in normalize_sql(sql)
+
+    def test_adjacent_literals_keep_their_separator(self):
+        assert normalize_sql("x 'a' 'b'") == "x 'a' 'b'"
+        assert normalize_sql("x 'a''b'") == "x 'a''b'"
+
+    def test_unterminated_literal_preserved_verbatim(self):
+        assert normalize_sql("SELECT 'open WHERE x").endswith("'open WHERE x")
+
+    def test_trailing_semicolons_stripped(self):
+        assert normalize_sql("select * from p ;; ") == "select * from p"
+
+    def test_punctuation_spacing_is_canonical(self):
+        spellings = {
+            normalize_sql("select a , b from p where x<3 and y = 'q'"),
+            normalize_sql("select a,b from p where x < 3 and y='q'"),
+        }
+        assert len(spellings) == 1
+
+    def test_idempotent(self):
+        sql = "SELECT DEDUP a, b FROM p WHERE v = 'Mixed  Case';"
+        once = normalize_sql(sql)
+        assert normalize_sql(once) == once
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT DEDUP id, title FROM P WHERE venue = 'EDBT'",
+            "SELECT COUNT(*) AS n FROM p",
+            "INSERT INTO p (id, title) VALUES (9, 'X  y')",
+        ],
+    )
+    def test_normal_form_still_parses(self, sql):
+        parse(normalize_sql(sql))
