@@ -1,0 +1,100 @@
+"""Resilience demo: a fault-injected server survives, a retrying client wins.
+
+Boots the engine service in-process with a deterministic fault plan
+armed — the first two query executions raise inside the handler, and
+every execution after that is slowed by an injected delay — then drives
+it with :class:`repro.serving.RetryingClient`:
+
+1. A plain (non-retrying) request sees the structured 500 with
+   ``error_kind: "injected_fault"`` — the server answers JSON instead of
+   dying, and its gate/admission slots are released.
+2. The retrying client issues the same query: two retries with jittered
+   exponential backoff, then success — bit-identical to a fault-free
+   answer.
+3. ``GET /metrics`` shows the degradation log (``serving`` layer,
+   ``execution_error`` events) and the execution-error counter; the
+   service recovered, it didn't hide the faults.
+
+Against a standalone faulty server, the client code is identical:
+
+    REPRO_FAULTS='serving.handler:times=2' python -m repro serve --csv PPL=people.csv
+    # or: python -m repro serve --csv PPL=people.csv --faults 'serving.handler:times=2'
+
+Run:  python examples/resilient_client.py
+"""
+
+import threading
+
+from repro import QueryEREngine
+from repro.datagen import generate_people
+from repro.datagen.people import people_schema
+from repro.resilience import FaultPlan, clear_plan, install_plan
+from repro.serving import EngineService, RetryingClient, make_server
+from repro.storage.table import Table
+
+
+def main() -> None:
+    table, _ = generate_people(300, seed=13, name="PPL")
+    engine = QueryEREngine()
+    engine.register(Table("PPL", people_schema(), [row.values for row in table]))
+
+    # The first 2 executions raise; every later one drags an extra 50 ms.
+    plan = FaultPlan.parse(
+        "serving.handler:times=2,serving.slow:hang:delay=0.05:times=inf", seed=7
+    )
+    install_plan(plan)
+    print(f"fault plan armed: sites={plan.sites}\n")
+
+    service = EngineService(engine, max_inflight=4, cache_size=64)
+    server = make_server(service, host="127.0.0.1", port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port}")
+
+    sql = "SELECT DEDUP id, surname FROM PPL WHERE state = 'nsw'"
+
+    # 1. A naive single-shot client hits the first injected fault.
+    naive = RetryingClient(host, port, max_attempts=1, seed=0)
+    try:
+        naive.query(sql)
+    except Exception as error:
+        print(f"naive client: {error}")
+
+    # 2. The retrying client absorbs the remaining fault and succeeds.
+    client = RetryingClient(
+        host, port, max_attempts=5, base_backoff=0.02, seed=42
+    )
+    status, answer = client.query(sql)
+    print(
+        f"retrying client: status={status}, rows={len(answer['rows'])}, "
+        f"attempts={client.stats['attempts']}, "
+        f"backoff={client.stats['backoff_s'] * 1000:.1f} ms"
+    )
+
+    # Immediate replay: cache hit at the same epoch (the slow-execution
+    # fault only taxes fresh executions).
+    status, again = client.query(sql)
+    print(f"replay: status={status}, cache={again['cache']}")
+
+    # 3. The server tells on itself: degradation events + error counters.
+    _, health = client.get("/healthz")
+    _, metrics = client.get("/metrics")
+    degradation = metrics["degradation"]
+    print(
+        f"\nhealthz: status={health['status']}, degraded={health['degraded']}, "
+        f"layers={health['degradation']}"
+    )
+    print(
+        f"metrics: execution_errors={metrics['counters'].get('execution_errors')}, "
+        f"degradation_events={degradation['total']}"
+    )
+    for event in degradation["recent"][:3]:
+        print(f"  [{event['layer']}/{event['site']}] {event['detail']}")
+
+    server.shutdown()
+    server.server_close()
+    clear_plan()
+
+
+if __name__ == "__main__":
+    main()

@@ -155,6 +155,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the structured per-request JSON log lines on stderr",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="arm deterministic fault injection (chaos testing), e.g. "
+        "'serving.handler:times=2,dml.index_delta:p=0.1,seed=7'; "
+        "see repro.resilience.faults for the site table and syntax "
+        "(env: REPRO_FAULTS)",
+    )
     return parser
 
 
@@ -167,6 +176,12 @@ def run_serve(argv: Sequence[str], output=None) -> int:
     if not args.csv:
         print("error: at least one --csv table is required", file=sys.stderr)
         return 2
+    if args.faults:
+        from repro.resilience import FaultPlan, install_plan
+
+        plan = FaultPlan.parse(args.faults)
+        install_plan(plan)
+        print(f"fault injection armed: sites={plan.sites}", file=output)
     engine = QueryEREngine(match_threshold=args.threshold, execution=args.workers)
     for spec in args.csv:
         name, _, path = spec.rpartition("=")

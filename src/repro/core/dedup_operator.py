@@ -25,6 +25,7 @@ from repro.core.indices import TableIndex
 from repro.core.result import DedupResult
 from repro.er.linkset import LinkSet, canonical_pair
 from repro.er.packed_blocking import derive_candidates, packed_blocking_supported
+from repro.resilience import DEGRADATION
 from repro.er.util import safe_sorted
 from repro.er.matching import ProfileMatcher
 from repro.er.meta_blocking import MetaBlockingConfig, apply_meta_blocking
@@ -224,21 +225,39 @@ class DeduplicateOperator:
         if raw is None and packed_blocking_supported(self.meta_blocking):
             # Columnar fast path: stages (i)–(iii) derived from the CSR
             # token postings, no string-keyed BlockCollection at all.
-            derived = derive_candidates(
-                self.index.postings,
-                frontier,
-                self.meta_blocking,
-                timed=context.timed,
-                executor=executor,
-            )
-            stats.qbi_blocks = max(stats.qbi_blocks, derived.qbi_blocks)
-            stats.eqbi_blocks = max(stats.eqbi_blocks, derived.eqbi_blocks)
-            stats.eqbi_comparisons_before += derived.comparisons_before
-            stats.eqbi_comparisons_after += derived.comparisons_after
-            raw = derived.pairs
-            if executor is not None:
-                executor.store_candidates(table_name, frontier, self.meta_blocking, raw)
-        elif raw is None:
+            # Any packed failure (bad postings state, an injected
+            # ``packed.derive`` fault) degrades to the dict pipeline
+            # below — same pairs by the equivalence contract, so
+            # correctness survives losing the fast path.  Stage stats
+            # and timings are only applied on success; a failed derive
+            # contributes its partial stage timings, which the profile
+            # then attributes alongside the dict path's own.
+            derived = None
+            try:
+                derived = derive_candidates(
+                    self.index.postings,
+                    frontier,
+                    self.meta_blocking,
+                    timed=context.timed,
+                    executor=executor,
+                )
+            except Exception as error:
+                DEGRADATION.record(
+                    "blocking",
+                    "packed_fallback",
+                    f"packed pipeline failed ({error!r}); using dict pipeline",
+                )
+            if derived is not None:
+                stats.qbi_blocks = max(stats.qbi_blocks, derived.qbi_blocks)
+                stats.eqbi_blocks = max(stats.eqbi_blocks, derived.eqbi_blocks)
+                stats.eqbi_comparisons_before += derived.comparisons_before
+                stats.eqbi_comparisons_after += derived.comparisons_after
+                raw = derived.pairs
+                if executor is not None:
+                    executor.store_candidates(
+                        table_name, frontier, self.meta_blocking, raw
+                    )
+        if raw is None:
             # (i) Query Blocking — QBI over the frontier.
             with context.timed("block-join"):
                 qbi = self.index.query_block_index(frontier)

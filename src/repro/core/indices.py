@@ -21,6 +21,7 @@ from repro.er.blocking import Block, BlockCollection, TokenBlocking, TokenPostin
 from repro.er.linkset import LinkSet
 from repro.er.matching import ProfileSignature, build_signature
 from repro.er.tokenizer import TokenVocabulary
+from repro.resilience import inject
 from repro.storage.table import Table
 
 
@@ -192,47 +193,136 @@ class TableIndex:
         touched block are re-sorted.  The resulting TBI/ITBI are
         element-for-element identical to a from-scratch rebuild over the
         grown table (asserted by the incremental-maintenance tests).
+
+        **Atomic.**  A failure mid-batch (tokenization error, injected
+        ``dml.index_delta`` fault) undoes every partial mutation — TBI
+        entries, ITBI entries and re-sorts, postings, signatures —
+        before re-raising, so the index is either fully amended or
+        exactly as it was.  Tokens the batch interned into the
+        vocabulary may remain; interning is append-only and an
+        unreferenced token is unobservable through any query path.
         """
         new_ids = list(entity_ids)
         new_keys: Dict[Any, Set[str]] = {}
+        applied: List[Any] = []
+        itbi_added: List[Any] = []
+        resorted: Set[Any] = set()
+        signatures_added: List[Any] = []
+        postings_touched = False
         touched: Set[str] = set()
-        for entity_id in new_ids:
-            keys = self.blocking.keys_for(self.entities.attributes(entity_id))
-            new_keys[entity_id] = keys
-            for key in keys:
-                self.tbi.add(key, entity_id)
-            touched |= keys
-
         affected: Set[Any] = set()
-        for key in touched:
-            affected |= self.tbi.get(key).entities
-        affected -= set(new_ids)
 
         def size_order(key: str):
             return (self.tbi.get(key).size, key)
 
-        for entity_id in new_ids:
-            # Token-less records (all-NULL attributes) get no ITBI entry,
-            # matching BlockCollection.inverted() on a rebuild.
-            if new_keys[entity_id]:
-                self.itbi[entity_id] = sorted(new_keys[entity_id], key=size_order)
-        for entity_id in affected:
+        try:
+            for entity_id in new_ids:
+                inject("dml.index_delta")  # the mid-batch crash the rollback suite drives
+                keys = self.blocking.keys_for(self.entities.attributes(entity_id))
+                new_keys[entity_id] = keys
+                for key in keys:
+                    self.tbi.add(key, entity_id)
+                applied.append(entity_id)
+                touched |= keys
+
+            for key in touched:
+                affected |= self.tbi.get(key).entities
+            affected -= set(new_ids)
+
+            for entity_id in new_ids:
+                # Token-less records (all-NULL attributes) get no ITBI entry,
+                # matching BlockCollection.inverted() on a rebuild.
+                if new_keys[entity_id]:
+                    self.itbi[entity_id] = sorted(new_keys[entity_id], key=size_order)
+                    itbi_added.append(entity_id)
+            for entity_id in affected:
+                keys_of = self.itbi.get(entity_id)
+                if keys_of:
+                    keys_of.sort(key=size_order)
+                    resorted.add(entity_id)
+            # Postings delta: extend the forward CSR and pending inverted
+            # postings with exactly the batch's assignments — no rebuild
+            # (unbuilt postings will simply include the rows when first
+            # materialized from the grown ITBI).
+            if self._postings is not None:
+                postings_touched = True
+                for entity_id in new_ids:
+                    self._postings.add_entity(entity_id, new_keys[entity_id])
+            # Pre-build the batch's profile signatures so the vocabulary grows
+            # incrementally with the delta and the first post-append query
+            # pays no signature cost for the new rows.
+            for entity_id in new_ids:
+                if entity_id not in self._signatures:
+                    signatures_added.append(entity_id)
+                self.signature_of(entity_id)
+        except BaseException:
+            self._undo_delta(
+                applied, new_keys, itbi_added, resorted, signatures_added,
+                postings_touched,
+            )
+            raise
+        return IndexDelta(tuple(new_ids), frozenset(touched), frozenset(affected))
+
+    def _undo_delta(
+        self,
+        applied: List[Any],
+        new_keys: Dict[Any, Set[str]],
+        itbi_added: List[Any],
+        resorted: Set[Any],
+        signatures_added: List[Any],
+        postings_touched: bool,
+    ) -> None:
+        """Surgically revert a partial :meth:`add_records` application.
+
+        TBI entries come out block-by-block (emptied blocks disappear
+        with them), the batch's ITBI entries are dropped, and every
+        pre-existing key list that was re-sorted against the grown block
+        sizes is re-sorted against the restored ones — ``(|b|, key)``
+        order is a pure function of the TBI, so restoring the TBI
+        restores the order.  Touched postings are discarded wholesale:
+        they are a derived cache, rebuilt lazily from the (now restored)
+        dict indices, which is cheaper to prove correct than a partial
+        CSR rewind across a possible mid-batch compaction.
+        """
+        for entity_id in itbi_added:
+            self.itbi.pop(entity_id, None)
+        for entity_id in applied:
+            for key in new_keys.get(entity_id, ()):
+                self.tbi.discard(key, entity_id)
+
+        def size_order(key: str):
+            block = self.tbi.get(key)
+            return (block.size if block is not None else 0, key)
+
+        for entity_id in resorted:
             keys_of = self.itbi.get(entity_id)
             if keys_of:
                 keys_of.sort(key=size_order)
-        # Postings delta: extend the forward CSR and pending inverted
-        # postings with exactly the batch's assignments — no rebuild
-        # (unbuilt postings will simply include the rows when first
-        # materialized from the grown ITBI).
-        if self._postings is not None:
-            for entity_id in new_ids:
-                self._postings.add_entity(entity_id, new_keys[entity_id])
-        # Pre-build the batch's profile signatures so the vocabulary grows
-        # incrementally with the delta and the first post-append query
-        # pays no signature cost for the new rows.
-        for entity_id in new_ids:
-            self.signature_of(entity_id)
-        return IndexDelta(tuple(new_ids), frozenset(touched), frozenset(affected))
+        for entity_id in signatures_added:
+            self._signatures.pop(entity_id, None)
+        if postings_touched:
+            self._postings = None
+
+    def remove_records(self, delta: "IndexDelta") -> None:
+        """Revert a fully-applied :meth:`add_records` delta (rollback path).
+
+        Used by the :class:`~repro.incremental.IndexMaintainer` when a
+        step *after* index amendment fails and the whole insert must
+        unwind.  The batch's per-entity keys are recovered from its own
+        ITBI entries (exactly what :meth:`add_records` stored).
+        """
+        keys_by_id = {
+            entity_id: set(self.itbi.get(entity_id, ()))
+            for entity_id in delta.new_ids
+        }
+        self._undo_delta(
+            list(delta.new_ids),
+            keys_by_id,
+            list(delta.new_ids),
+            set(delta.affected_ids),
+            list(delta.new_ids),
+            self._postings is not None,
+        )
 
     # -- QBI ----------------------------------------------------------------
     def query_block_index(self, entity_ids: Iterable[Any]) -> BlockCollection:

@@ -95,6 +95,20 @@ class BlockCollection:
         """Insert (or replace) a whole block."""
         self._blocks[block.key] = block
 
+    def discard(self, key: str, entity_id: Any) -> None:
+        """Remove *entity_id* from the block keyed by *key*, if present.
+
+        An emptied block is deleted outright — a built TBI never holds
+        zero-entity blocks, so the undo of an :meth:`add` sequence (the
+        DML rollback path) restores the collection element-for-element.
+        """
+        block = self._blocks.get(key)
+        if block is None:
+            return
+        block.entities.discard(entity_id)
+        if not block.entities:
+            del self._blocks[key]
+
     # -- access --------------------------------------------------------
     def __len__(self) -> int:
         return len(self._blocks)

@@ -48,6 +48,7 @@ from repro.er.edge_pruning import (
     reduce_span_segments,
 )
 from repro.er.util import safe_sorted
+from repro.resilience import inject
 
 
 def _no_timing(stage: str) -> ContextManager:
@@ -101,6 +102,7 @@ def derive_candidates(
     """
     timed = timed or _no_timing
     np = _np
+    inject("packed.derive")  # packed-path failure → operator falls back to dict
 
     # (i) Query Blocking + (ii) Block-Join.  The EQBI block of a QBI key
     # is the key's full table posting (frontier entities already carry

@@ -56,11 +56,17 @@ insert-then-query ≡ fresh-engine equality).
 """
 
 from repro.incremental.dml import DmlExecutor
-from repro.incremental.maintainer import IndexMaintainer, IngestResult, InvalidationPolicy
+from repro.incremental.maintainer import (
+    IndexMaintainer,
+    IngestError,
+    IngestResult,
+    InvalidationPolicy,
+)
 
 __all__ = [
     "DmlExecutor",
     "IndexMaintainer",
+    "IngestError",
     "IngestResult",
     "InvalidationPolicy",
 ]

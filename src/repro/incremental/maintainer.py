@@ -10,11 +10,31 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Tuple
 
+from repro.resilience import DEGRADATION, inject
 from repro.storage.schema import SchemaError
 from repro.storage.table import Row
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine ↔ incremental)
     from repro.core.engine import QueryEREngine
+
+
+class IngestError(RuntimeError):
+    """An ingest batch failed after partial application and was rolled back.
+
+    By the time this surfaces, the table's rows, TBI/ITBI, postings,
+    signatures, statistics, join-percentage caches and epoch all equal
+    the pre-insert snapshot again (the rollback property suite checks
+    this against a never-inserted engine).  The original failure is
+    chained as ``__cause__``.
+    """
+
+    def __init__(self, table: str, stage: str, cause: BaseException):
+        super().__init__(
+            f"INSERT INTO {table} failed during {stage} and was rolled back: {cause!r}"
+        )
+        self.table = table
+        self.stage = stage
+        self.rolled_back = True
 
 
 class InvalidationPolicy(enum.Enum):
@@ -80,18 +100,46 @@ class IndexMaintainer:
         With *columns*, each row supplies values for exactly those
         columns (any order); missing columns become NULL.  Without, rows
         must cover the full schema in declaration order.  The batch is
-        atomic: a schema violation anywhere leaves table and indices
-        untouched.
+        **transactional**: a schema violation raises before anything
+        mutates, and a failure after the storage append committed
+        (index amendment, LI invalidation — organic or injected via the
+        ``dml.*`` fault sites) rolls the table and every derived index
+        back to the pre-insert snapshot and surfaces as a typed
+        :class:`IngestError`.  The epoch advances only on the commit
+        path, so epoch-keyed caches (candidate plans, served results)
+        correctly keep serving the pre-insert state after a rollback.
         """
         start = time.perf_counter()
         index = self.engine.index_of(table_name)
         table = index.table
         full_rows = self._project_to_schema(table, rows, columns)
+        rows_before = len(table)
         appended: List[Row] = table.append_rows(full_rows)
         vocabulary_before = len(index.vocabulary)
-        delta = index.add_records([row.id for row in appended])
-        invalidated = self._invalidate_link_index(index, delta)
-        self.engine.note_appended(table.name, len(appended))
+        delta = None
+        try:
+            inject("dml.after_append")  # crash between storage and index amendment
+            # add_records is itself atomic: it either returns a fully
+            # applied delta or undoes its partial work before raising —
+            # in which case only the storage append needs unwinding here.
+            delta = index.add_records([row.id for row in appended])
+            inject("dml.before_commit")  # crash before the epoch advances
+            invalidated = self._invalidate_link_index(index, delta)
+            self.engine.note_appended(table.name, len(appended))
+        except BaseException as error:
+            stage = "index amendment" if delta is None else "commit"
+            if delta is not None:
+                index.remove_records(delta)
+            table.rollback_to(rows_before)
+            DEGRADATION.record(
+                "dml",
+                "rollback",
+                f"INSERT INTO {table.name} (+{len(appended)} rows) rolled back "
+                f"during {stage}: {error!r}",
+            )
+            if isinstance(error, Exception):
+                raise IngestError(table.name, stage, error) from error
+            raise  # KeyboardInterrupt/SystemExit: rolled back, not wrapped
         return IngestResult(
             table=table.name,
             inserted=len(appended),
@@ -128,7 +176,14 @@ class IndexMaintainer:
         return projected
 
     def _invalidate_link_index(self, index, delta) -> int:
-        """Revoke resolved-ness made stale by the appended records."""
+        """Revoke resolved-ness made stale by the appended records.
+
+        Not undone on rollback: un-resolving is conservative (an entity
+        re-resolves at its next evaluation, at re-computation cost, not
+        correctness cost), so a rollback that leaves extra entities
+        unresolved still answers every query exactly like the
+        pre-insert engine.
+        """
         link_index = index.link_index
         if self.policy is InvalidationPolicy.FULL_RESET:
             invalidated = link_index.resolved_count

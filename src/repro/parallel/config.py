@@ -13,6 +13,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass
+from typing import Optional
 
 #: Upper bound of auto-detected workers; beyond this, per-query pool
 #: management overhead outgrows the marginal core's contribution on the
@@ -88,6 +89,16 @@ class ExecutionConfig:
         Entries of the per-engine candidate-pair plan cache (repeated
         frontiers skip re-deriving their comparison list); ``0``
         disables it.
+    task_retries:
+        How many serial parent-side re-runs a failed (or timed-out)
+        partition task gets before the invocation surfaces a typed
+        :class:`~repro.parallel.pool.TaskExecutionError`; ``0`` restores
+        fail-fast propagation.
+    task_timeout_s:
+        Per-task wall-clock bound in seconds (hang containment): a task
+        exceeding it counts as failed and enters the retry/serial
+        recovery path.  ``None`` disables; the generous default only
+        trips on genuine hangs, never on slow-but-alive partitions.
     """
 
     workers: int = None  # type: ignore[assignment]  # None → auto
@@ -97,12 +108,18 @@ class ExecutionConfig:
     partitions_per_worker: int = 4
     parallel_graph: bool = True
     candidate_cache_size: int = 128
+    task_retries: int = 2
+    task_timeout_s: Optional[float] = 300.0
 
     def __post_init__(self) -> None:
         if self.backend not in ("auto", "process", "thread", "serial"):
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive seconds (or None)")
 
     @classmethod
     def serial(cls) -> "ExecutionConfig":

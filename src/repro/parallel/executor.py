@@ -127,6 +127,15 @@ class ParallelComparisonExecutor:
     def parallel(self) -> bool:
         return self.workers > 1 and self.backend != "serial"
 
+    def _pool(self) -> WorkerPool:
+        """A per-invocation pool carrying the config's recovery policy."""
+        return WorkerPool(
+            self.workers,
+            self.backend,
+            retries=self.config.task_retries,
+            task_timeout=self.config.task_timeout_s,
+        )
+
     def should_parallelize_pairs(self, pair_count: int) -> bool:
         return self.parallel and pair_count >= self.config.min_parallel_pairs
 
@@ -171,7 +180,7 @@ class ParallelComparisonExecutor:
             pairs, signatures, view, private_state=self.backend == "process"
         )
         tasks = [MatchTask(p.index, p.start, p.stop) for p in partitions]
-        results = WorkerPool(self.workers, self.backend).run(
+        results = self._pool().run(
             run_match_task, tasks, payload
         )
         # The pool downgrades payload.private_state when a process run
@@ -221,7 +230,7 @@ class ParallelComparisonExecutor:
         payload = GraphPayload(blocks, index_of, len(universe), in_focus, need_arcs)
         partitions = self.planner.partition_blocks(blocks)
         tasks = [GraphTask(p.index, p.start, p.stop) for p in partitions]
-        results = WorkerPool(self.workers, self.backend).run(
+        results = self._pool().run(
             run_graph_task, tasks, payload
         )
         edge_keys, edge_stats, block_counts = DeterministicMerger.merge_graph_segments(
@@ -258,7 +267,7 @@ class ParallelComparisonExecutor:
         partitions = self.planner.partition_costs(cardinalities)
         payload = SpanPayload(members, indptr, len(universe), in_focus, need_arcs)
         tasks = [SpanTask(p.index, p.start, p.stop) for p in partitions]
-        results = WorkerPool(self.workers, self.backend).run(
+        results = self._pool().run(
             run_span_task, tasks, payload
         )
         edge_keys, edge_stats, block_counts = DeterministicMerger.merge_span_segments(

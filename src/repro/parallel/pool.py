@@ -1,4 +1,4 @@
-"""Worker pools: fork-based multiprocessing with threaded/serial fallback.
+"""Worker pools: fork-based multiprocessing with recovery and fallback.
 
 The process backend is built for Linux ``fork``: the invocation payload
 is installed as a module global *before* the pool spawns, so children
@@ -8,20 +8,65 @@ unavailable — or pool creation fails at runtime (locked-down sandboxes
 without ``/dev/shm``, resource limits) — the pool degrades to threads,
 and below two workers to a plain serial loop.  Every backend preserves
 task order in its result list, which the deterministic merger relies on.
+
+Failure containment (``repro.resilience``): a crashed or hung *task* no
+longer poisons the whole invocation.  Each task's outcome is collected
+individually (per-task timeout bounds a hang; the context-managed
+process pool tears hung workers down on exit), failed partitions are
+retried serially in the parent — bounded by ``retries`` — and only
+exhausted retries surface, as a typed :class:`TaskExecutionError`.
+Tasks are pure functions of ``(payload, descriptor)``, so a parent-side
+serial re-run computes exactly what the worker would have; recovery
+never changes results, and every recovery is recorded in the
+process-wide degradation log.  Fault sites ``pool.spawn``,
+``pool.task`` and ``pool.task_hang`` make all three failure paths
+deterministically testable.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import threading
+import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, List, Sequence
+from concurrent.futures import TimeoutError as FutureTimeout
+from functools import partial
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.parallel.config import fork_available
 from repro.parallel.tasks import clear_payload, set_payload
+from repro.resilience import DEGRADATION, inject
 
-#: Warn about a failed process-pool spawn only once per process.
+#: Warn about a failed process-pool spawn only once per process.  Guarded
+#: by :data:`_WARN_LOCK` (concurrent serving requests race to warn) and
+#: resettable for tests via :func:`reset_process_fallback_warning`.
 _PROCESS_FALLBACK_WARNED = False
+_WARN_LOCK = threading.Lock()
+
+
+class TaskExecutionError(RuntimeError):
+    """A partition task kept failing after every bounded recovery attempt.
+
+    Carries the zero-based index of the failing task and chains the last
+    underlying error, so callers (and the chaos suite) can tell a clean
+    recovery-exhausted failure from silent corruption.
+    """
+
+    def __init__(self, task_index: int, attempts: int, cause: BaseException):
+        super().__init__(
+            f"task {task_index} failed after {attempts} attempts: {cause!r}"
+        )
+        self.task_index = task_index
+        self.attempts = attempts
+
+
+class TaskTimeout(RuntimeError):
+    """One task exceeded the pool's per-task timeout (hang containment)."""
+
+    def __init__(self, task_index: int, timeout: float):
+        super().__init__(f"task {task_index} exceeded the {timeout}s task timeout")
+        self.task_index = task_index
 
 
 class WorkerPool:
@@ -33,19 +78,38 @@ class WorkerPool:
     forked child holds a snapshot of its parent's tables and caches, and
     snapshots must never outlive the state they mirror (see
     ``QueryEREngine.note_appended`` for the invalidation story).
+
+    ``retries`` bounds how many serial parent-side re-runs a failed or
+    timed-out task gets before :class:`TaskExecutionError`; ``0``
+    restores fail-fast propagation.  ``task_timeout`` (seconds, ``None``
+    disables) bounds each task's wall-clock wait — a hung fork worker is
+    terminated with the pool, a hung thread is abandoned to finish on
+    its own (its write, if any, lands in a result slot nobody reads).
     """
 
-    def __init__(self, workers: int, backend: str):
+    def __init__(
+        self,
+        workers: int,
+        backend: str,
+        retries: int = 2,
+        task_timeout: Optional[float] = None,
+    ):
         if backend not in ("process", "thread", "serial"):
             raise ValueError(f"unknown backend {backend!r}")
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive seconds (or None)")
         if backend == "process" and not fork_available():
             backend = "thread"
         if workers == 1:
             backend = "serial"
         self.workers = workers
         self.backend = backend
+        self.retries = retries
+        self.task_timeout = task_timeout
 
     def run(
         self,
@@ -55,55 +119,181 @@ class WorkerPool:
     ) -> List[Any]:
         """Execute *worker* over *tasks* with *payload* installed.
 
-        Results come back in task order for every backend.
+        Results come back in task order for every backend.  Transient
+        per-task failures are recovered (see the class docstring); a
+        task that cannot be recovered raises :class:`TaskExecutionError`
+        with the original error chained.
         """
         if not tasks:
             return []
+        guarded = partial(_guarded_worker, worker)
         set_payload(payload)
         try:
             if self.backend == "process":
-                # Only pool *creation* may fall back: a task exception
-                # must propagate as-is, not masquerade as a spawn
-                # failure and silently re-run the batch on threads.
-                try:
-                    pool = multiprocessing.get_context("fork").Pool(
-                        processes=self.workers
-                    )
-                except (OSError, ValueError, RuntimeError) as error:
-                    _warn_process_fallback(error)
-                    # Falling back to threads changes the state model:
-                    # workers now share one live payload instead of
-                    # copy-on-write copies.  Payloads that track this
-                    # (MatchPayload.private_state) are downgraded so
-                    # workers stop computing per-task counter deltas
-                    # that would overlap on the shared object.
-                    if getattr(payload, "private_state", None):
-                        payload.private_state = False
-                    return self._run_threads(worker, tasks)
-                with pool:
-                    # chunksize=1: tasks are already coarse partitions,
-                    # and eager chunking would serialize the balanced
-                    # spans back together.
-                    return pool.map(worker, tasks, chunksize=1)
-            if self.backend == "thread":
-                return self._run_threads(worker, tasks)
-            return [worker(task) for task in tasks]
+                outcomes = self._run_processes(guarded, tasks, payload)
+            elif self.backend == "thread":
+                outcomes = self._run_threads(guarded, tasks)
+            else:
+                outcomes = [_attempt(guarded, task) for task in tasks]
+            return self._recover(guarded, tasks, outcomes)
         finally:
             clear_payload()
 
     # -- backends --------------------------------------------------------
 
-    def _run_threads(self, worker, tasks) -> List[Any]:
-        with ThreadPoolExecutor(max_workers=self.workers) as executor:
-            return list(executor.map(worker, tasks))
+    def _run_processes(self, worker, tasks, payload) -> List[Tuple[bool, Any]]:
+        """Fork-pool execution collecting per-task outcomes.
+
+        Only pool *creation* falls back to threads: a task exception is
+        an outcome to recover from, never a reason to silently re-run
+        the whole batch on a different backend.
+        """
+        try:
+            inject("pool.spawn")
+            pool = multiprocessing.get_context("fork").Pool(processes=self.workers)
+        except (OSError, ValueError, RuntimeError) as error:
+            _warn_process_fallback(error)
+            # Falling back to threads changes the state model: workers
+            # now share one live payload instead of copy-on-write
+            # copies.  Payloads that track this
+            # (MatchPayload.private_state) are downgraded so workers
+            # stop computing per-task counter deltas that would overlap
+            # on the shared object.
+            if getattr(payload, "private_state", None):
+                payload.private_state = False
+            return self._run_threads(worker, tasks)
+        # Pool.__exit__ terminates outstanding workers — exactly what a
+        # hung task needs once its result has been written off.
+        with pool:
+            handles = [pool.apply_async(worker, (task,)) for task in tasks]
+            deadline = self._deadline()
+            outcomes: List[Tuple[bool, Any]] = []
+            for index, handle in enumerate(handles):
+                try:
+                    outcomes.append((True, handle.get(self._remaining(deadline))))
+                except multiprocessing.TimeoutError:
+                    outcomes.append(
+                        (False, TaskTimeout(index, self.task_timeout or 0.0))
+                    )
+                except Exception as error:
+                    outcomes.append((False, error))
+        return outcomes
+
+    def _run_threads(self, worker, tasks) -> List[Tuple[bool, Any]]:
+        executor = ThreadPoolExecutor(max_workers=self.workers)
+        try:
+            futures = [executor.submit(worker, task) for task in tasks]
+            deadline = self._deadline()
+            outcomes: List[Tuple[bool, Any]] = []
+            for index, future in enumerate(futures):
+                try:
+                    outcomes.append((True, future.result(self._remaining(deadline))))
+                except FutureTimeout:
+                    outcomes.append(
+                        (False, TaskTimeout(index, self.task_timeout or 0.0))
+                    )
+                except Exception as error:
+                    outcomes.append((False, error))
+            return outcomes
+        finally:
+            # wait=False: a hung thread must not block the invocation;
+            # it finishes (or dies) on its own, unobserved.
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- recovery --------------------------------------------------------
+
+    def _recover(self, worker, tasks, outcomes) -> List[Any]:
+        """Retry failed partitions serially in the parent, bounded.
+
+        The serial re-run *is* the fallback of last resort: it needs no
+        pool, no pickling and no free worker, so it can only fail if the
+        task itself keeps failing — at which point the typed error
+        surfaces with the final cause chained.
+        """
+        results: List[Any] = []
+        for index, (ok, value) in enumerate(outcomes):
+            if ok:
+                results.append(value)
+                continue
+            error: BaseException = value
+            recovered = False
+            for attempt in range(self.retries):
+                try:
+                    results.append(worker(tasks[index]))
+                except Exception as retry_error:
+                    error = retry_error
+                    continue
+                DEGRADATION.record(
+                    "parallel",
+                    "task_retry",
+                    f"task {index} recovered serially on attempt "
+                    f"{attempt + 1} after {value!r}",
+                )
+                recovered = True
+                break
+            if not recovered:
+                DEGRADATION.record(
+                    "parallel",
+                    "task_failed",
+                    f"task {index} unrecoverable after {1 + self.retries} "
+                    f"attempts: {error!r}",
+                )
+                raise TaskExecutionError(index, 1 + self.retries, error) from error
+        return results
+
+    # -- timing ----------------------------------------------------------
+
+    def _deadline(self) -> Optional[float]:
+        if self.task_timeout is None:
+            return None
+        return time.monotonic() + self.task_timeout
+
+    @staticmethod
+    def _remaining(deadline: Optional[float]) -> Optional[float]:
+        if deadline is None:
+            return None
+        # Never pass zero/negative waits: a result that is already in
+        # should still be collected, so keep a floor.
+        return max(0.001, deadline - time.monotonic())
+
+
+def _guarded_worker(worker, task):
+    """Task entry point with the pool's fault sites threaded through.
+
+    Module-level (and wrapped via :func:`functools.partial` over a
+    module-level worker) so the process backend can pickle it by
+    reference.  Fork children inherit the armed fault plan by
+    copy-on-write, which is how injected task crashes reach real
+    subprocess workers.
+    """
+    inject("pool.task")
+    inject("pool.task_hang")
+    return worker(task)
+
+
+def _attempt(worker, task) -> Tuple[bool, Any]:
+    try:
+        return True, worker(task)
+    except Exception as error:
+        return False, error
 
 
 def _warn_process_fallback(error: Exception) -> None:
     global _PROCESS_FALLBACK_WARNED
-    if not _PROCESS_FALLBACK_WARNED:
+    with _WARN_LOCK:
+        if _PROCESS_FALLBACK_WARNED:
+            return
         _PROCESS_FALLBACK_WARNED = True
-        warnings.warn(
-            f"process pool unavailable ({error}); falling back to threads",
-            RuntimeWarning,
-            stacklevel=3,
-        )
+    DEGRADATION.record("parallel", "pool_spawn", f"process pool unavailable: {error}")
+    warnings.warn(
+        f"process pool unavailable ({error}); falling back to threads",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+def reset_process_fallback_warning() -> None:
+    """Re-arm the one-shot spawn-fallback warning (test isolation hook)."""
+    global _PROCESS_FALLBACK_WARNED
+    with _WARN_LOCK:
+        _PROCESS_FALLBACK_WARNED = False

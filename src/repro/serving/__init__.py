@@ -22,6 +22,7 @@ or from the CLI: ``repro serve --csv people.csv --port 7531``.
 """
 
 from repro.serving.cache import CachedResult, ResultCache, result_key
+from repro.serving.client import GaveUp, RetryingClient
 from repro.serving.coalescer import CoalesceTimeout, SingleFlight
 from repro.serving.http import ServingHTTPServer, make_server
 from repro.serving.metrics import LatencyRecorder, ServiceMetrics
@@ -36,6 +37,8 @@ __all__ = [
     "CachedResult",
     "ResultCache",
     "result_key",
+    "GaveUp",
+    "RetryingClient",
     "CoalesceTimeout",
     "SingleFlight",
     "ServingHTTPServer",

@@ -1,0 +1,206 @@
+"""A resilient stdlib HTTP client for the serving layer.
+
+:class:`RetryingClient` wraps the three failure answers the server is
+allowed to give — 503 ``overload`` (+ ``Retry-After``), 5xx errors, and
+plain connection failures — in client-side recovery: bounded retries
+with **jittered exponential backoff** (full jitter, seeded and
+deterministic for tests), honouring the server's ``Retry-After`` as a
+floor on the wait.  This is the client half of graceful degradation:
+the server sheds load instead of queueing into collapse, and a polite
+client spreads its re-arrivals instead of stampeding back.
+
+Retry discipline:
+
+* ``GET`` and ``POST /query`` are idempotent — retried on 503, 5xx,
+  timeouts and connection errors alike.
+* Writes (``POST /insert``, ``INSERT INTO`` SQL) are retried only when
+  the server *proves* nothing was applied: 503 (admission refused
+  before any work) and 500 ``ingest_failed`` (the DML layer rolled the
+  batch back).  A 504 or a dropped connection after a write was sent is
+  **not** retried — the insert may have committed, and re-sending would
+  duplicate ids.
+* 4xx responses are never retried: the request itself is wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import time
+from http.client import HTTPConnection
+from typing import Any, Dict, Optional, Tuple
+
+#: 500-level ``error_kind`` values that are safe to retry even for
+#: writes: the server asserts the request left no partial state behind.
+ROLLED_BACK_KINDS = frozenset({"ingest_failed"})
+
+
+class GaveUp(Exception):
+    """Retries exhausted: carries the final status and payload."""
+
+    def __init__(self, attempts: int, status: Optional[int], payload: Any):
+        super().__init__(f"gave up after {attempts} attempts (last status {status})")
+        self.attempts = attempts
+        self.status = status
+        self.payload = payload
+
+
+class RetryingClient:
+    """Stdlib client with bounded, jittered, Retry-After-aware retries.
+
+    Parameters
+    ----------
+    host, port:
+        The serving endpoint.
+    timeout:
+        Per-attempt socket timeout in seconds.
+    max_attempts:
+        Total tries per request (first attempt included).
+    base_backoff / max_backoff:
+        Exponential schedule bounds: attempt *n* waits up to
+        ``min(max_backoff, base_backoff * 2**n)`` seconds, drawn
+        uniformly (full jitter) so concurrent clients decorrelate.
+    seed:
+        Seeds the jitter RNG — deterministic backoff sequences for
+        tests and reproducible chaos runs.
+    sleeper:
+        Injection point for tests (defaults to :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        max_attempts: int = 5,
+        base_backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        seed: Optional[int] = None,
+        sleeper=time.sleep,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
+        self._rng = random.Random(seed)
+        self._sleep = sleeper
+        #: Observability: attempts made, retries taken, seconds slept.
+        self.stats = {"attempts": 0, "retries": 0, "backoff_s": 0.0}
+
+    # -- public surface --------------------------------------------------
+    def get(self, path: str) -> Tuple[int, Any]:
+        return self.request("GET", path, idempotent=True)
+
+    def query(self, sql: str, **body: Any) -> Tuple[int, Any]:
+        return self.request(
+            "POST", "/query", {"sql": sql, **body}, idempotent=True
+        )
+
+    def insert(self, table: str, rows, **body: Any) -> Tuple[int, Any]:
+        return self.request(
+            "POST",
+            "/insert",
+            {"table": table, "rows": [list(row) for row in rows], **body},
+            idempotent=False,
+        )
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        idempotent: bool = True,
+    ) -> Tuple[int, Any]:
+        """Issue one logical request, retrying per the class contract.
+
+        Returns ``(status, decoded_json)`` of the first conclusive
+        answer; raises :class:`GaveUp` when every attempt failed
+        retryably.
+        """
+        last_status: Optional[int] = None
+        last_payload: Any = None
+        for attempt in range(self.max_attempts):
+            self.stats["attempts"] += 1
+            sent = False
+            try:
+                sent = True
+                status, payload = self._once(method, path, body)
+            except (OSError, ValueError) as error:
+                # Connection refused/reset or a torn response.  For a
+                # write that was already on the wire, the server may
+                # have applied it — do not re-send.
+                if not idempotent and sent and not isinstance(error, ConnectionRefusedError):
+                    raise
+                last_status, last_payload = None, repr(error)
+                self._backoff(attempt, None)
+                continue
+            retry_after = self._retryable(status, payload, idempotent)
+            if retry_after is None:
+                return status, payload
+            last_status, last_payload = status, payload
+            if attempt + 1 < self.max_attempts:
+                self._backoff(attempt, retry_after)
+        raise GaveUp(self.max_attempts, last_status, last_payload)
+
+    # -- internals -------------------------------------------------------
+    def _once(self, method, path, body) -> Tuple[int, Any]:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        # Small JSON request/response pairs suffer Nagle + delayed-ACK;
+        # disable Nagle just like the server's handler does.
+        connection.sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw) if raw else None
+            if response.status == 503:
+                header = response.getheader("Retry-After")
+                if header and isinstance(decoded, dict):
+                    decoded.setdefault("retry_after_s", float(header))
+            return response.status, decoded
+        finally:
+            connection.close()
+
+    def _retryable(
+        self, status: int, payload: Any, idempotent: bool
+    ) -> Optional[float]:
+        """``None`` = conclusive; else the server-suggested wait (0 = none)."""
+        if status < 500 and status != 503:
+            return None
+        retry_after = 0.0
+        if isinstance(payload, dict):
+            try:
+                retry_after = float(payload.get("retry_after_s") or 0.0)
+            except (TypeError, ValueError):
+                retry_after = 0.0
+        if status == 503:
+            return retry_after
+        if status == 504:
+            # The request may still complete server-side; only reads
+            # can safely go again.
+            return retry_after if idempotent else None
+        kind = payload.get("error_kind") if isinstance(payload, dict) else None
+        if idempotent or kind in ROLLED_BACK_KINDS:
+            return retry_after
+        return None
+
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> None:
+        """Sleep full-jitter exponential, floored by the server's hint."""
+        self.stats["retries"] += 1
+        ceiling = min(self.max_backoff, self.base_backoff * (2**attempt))
+        delay = self._rng.uniform(0.0, ceiling)
+        if retry_after:
+            delay = max(delay, retry_after)
+        self.stats["backoff_s"] += delay
+        if delay > 0:
+            self._sleep(delay)

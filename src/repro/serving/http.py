@@ -17,10 +17,21 @@ threads) exposing:
     Body ``{"table": ..., "rows": [[...], ...], "columns"?: [...]}`` —
     the programmatic twin of ``INSERT INTO``.
 
-Failure contract: malformed requests are 400, unknown paths 404,
-overload 503 with a ``Retry-After`` header (admission refused — the
-service sheds load instead of queueing into collapse), and expired
-per-request timeouts 504.  Every response is JSON.
+Failure contract: every response is JSON, and every error response
+carries a machine-readable ``error_kind`` next to the human ``error``
+string — clients branch on the kind, never on message text.  Malformed
+requests are 400 (``bad_request``), unknown paths 404 (``not_found``),
+overload 503 (``overload``, with a ``Retry-After`` header — the service
+sheds load instead of queueing into collapse), expired per-request
+timeouts 504 (``timeout``), a rolled-back insert 500
+(``ingest_failed`` with ``rolled_back: true``), an exhausted parallel
+recovery 500 (``task_failed``), an injected fault 500
+(``injected_fault``), and anything else 500 (``internal``).  No
+exception path ever wedges the service: handler errors release the
+admission slot and engine gate on the way out (see
+``EngineService``), the per-connection thread answers JSON instead of
+dying with a traceback, and a client that disappeared mid-response is
+simply dropped.
 """
 
 from __future__ import annotations
@@ -29,6 +40,9 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from repro.incremental import IngestError
+from repro.parallel.pool import TaskExecutionError
+from repro.resilience import FaultError
 from repro.serving.service import EngineService, OverloadError, RequestTimeout
 from repro.sql.lexer import LexError
 from repro.sql.parser import ParseError
@@ -67,11 +81,13 @@ class ServingHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
         service = self.server.service
         if self.path == "/healthz":
-            self._send(200, service.healthz())
+            self._handle(lambda _body: service.healthz(), needs_body=False)
         elif self.path == "/metrics":
-            self._send(200, service.metrics_snapshot())
+            self._handle(lambda _body: service.metrics_snapshot(), needs_body=False)
         else:
-            self._send(404, {"error": f"no such endpoint: {self.path}"})
+            self._send(
+                404, {"error": f"no such endpoint: {self.path}", "error_kind": "not_found"}
+            )
 
     def do_POST(self) -> None:  # noqa: N802
         if self.path == "/query":
@@ -79,7 +95,9 @@ class ServingHandler(BaseHTTPRequestHandler):
         elif self.path == "/insert":
             self._handle(self._insert)
         else:
-            self._send(404, {"error": f"no such endpoint: {self.path}"})
+            self._send(
+                404, {"error": f"no such endpoint: {self.path}", "error_kind": "not_found"}
+            )
 
     # -- handlers --------------------------------------------------------
     def _query(self, body: Dict[str, Any]) -> Dict[str, Any]:
@@ -106,21 +124,37 @@ class ServingHandler(BaseHTTPRequestHandler):
         )
 
     # -- plumbing --------------------------------------------------------
-    def _handle(self, handler) -> None:
+    def _handle(self, handler, needs_body: bool = True) -> None:
         try:
-            payload = handler(self._read_body())
+            payload = handler(self._read_body() if needs_body else None)
         except OverloadError as error:
             self._send(
                 503,
-                {"error": str(error), "retry_after_s": error.retry_after},
+                {
+                    "error": str(error),
+                    "error_kind": "overload",
+                    "retry_after_s": error.retry_after,
+                },
                 extra_headers={"Retry-After": str(max(1, int(error.retry_after)))},
             )
         except RequestTimeout as error:
-            self._send(504, {"error": str(error)})
+            self._send(504, {"error": str(error), "error_kind": "timeout"})
+        except IngestError as error:
+            # The write failed but was rolled back below the gate: the
+            # table (and every cached answer) still describes the
+            # pre-insert epoch, so the client may simply retry.
+            self._send(
+                500,
+                {"error": str(error), "error_kind": "ingest_failed", "rolled_back": True},
+            )
+        except TaskExecutionError as error:
+            self._send(500, {"error": str(error), "error_kind": "task_failed"})
+        except FaultError as error:
+            self._send(500, {"error": str(error), "error_kind": "injected_fault"})
         except (ValueError, KeyError, TypeError, ParseError, LexError, SchemaError) as error:
-            self._send(400, {"error": str(error)})
-        except Exception as error:  # pragma: no cover - defensive catch-all
-            self._send(500, {"error": f"internal error: {error}"})
+            self._send(400, {"error": str(error), "error_kind": "bad_request"})
+        except Exception as error:  # defensive catch-all: thread must answer, not die
+            self._send(500, {"error": f"internal error: {error}", "error_kind": "internal"})
         else:
             self._send(200, payload)
 
@@ -146,13 +180,19 @@ class ServingHandler(BaseHTTPRequestHandler):
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (extra_headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except OSError:
+            # The client hung up mid-response (broken pipe / reset).
+            # Its admission slot was already released; dropping the
+            # write is the whole recovery.
+            self.close_connection = True
 
     def log_message(self, format: str, *args: Any) -> None:
         """Suppressed: the service emits structured JSON request logs."""

@@ -44,6 +44,7 @@ from typing import Any, Dict, IO, Optional, Tuple, Union
 
 from repro.core.engine import QueryEREngine
 from repro.core.planner import ExecutionMode
+from repro.resilience import DEGRADATION, inject
 from repro.serving.cache import CachedResult, ResultCache, result_key
 from repro.serving.coalescer import CoalesceTimeout, SingleFlight
 from repro.serving.metrics import ServiceMetrics
@@ -131,6 +132,9 @@ class EngineService:
         self.metrics = ServiceMetrics()
         self.cache = ResultCache(cache_size)
         self.flights = SingleFlight()
+        #: The process-wide degradation log (per-layer graceful
+        #: fallbacks), surfaced by /healthz and /metrics.
+        self.degradation = DEGRADATION
         self._gate = threading.Lock()
         self._admission = threading.Lock()
         self._inflight = 0
@@ -204,7 +208,14 @@ class EngineService:
         try:
             self._acquire_gate(timeout)
             try:
-                result = self.engine.execute(sql)
+                try:
+                    result = self.engine.execute(sql)
+                except Exception:
+                    # A failed INSERT INTO rolled back below the gate
+                    # (see IndexMaintainer.append); the epoch did not
+                    # advance, so existing cache entries stay valid.
+                    self.metrics.increment("insert_errors")
+                    raise
                 epochs = self.engine.table_epochs()
                 # Explicit invalidation: the epoch advance already made
                 # stale entries unreachable; this frees their memory now.
@@ -241,9 +252,13 @@ class EngineService:
         try:
             self._acquire_gate(timeout)
             try:
-                outcome = self.engine.insert(
-                    table, [tuple(row) for row in rows], columns=columns
-                )
+                try:
+                    outcome = self.engine.insert(
+                        table, [tuple(row) for row in rows], columns=columns
+                    )
+                except Exception:
+                    self.metrics.increment("insert_errors")
+                    raise
                 epochs = self.engine.table_epochs()
                 self.cache.evict_stale(epochs)
             finally:
@@ -263,8 +278,14 @@ class EngineService:
 
     # -- observability ---------------------------------------------------
     def healthz(self) -> Dict[str, Any]:
+        """Liveness plus degradation: ``status`` stays ``ok`` while the
+        service can answer at all — ``degraded`` flags that some layer
+        has taken a graceful fallback (details under ``/metrics``)."""
+        degradation = self.degradation.layer_counts()
         return {
             "status": "ok",
+            "degraded": bool(degradation),
+            "degradation": degradation,
             "uptime_s": round(time.time() - self._started, 3),
             "tables": sorted(self.engine.table_epochs()),
             "epochs": self.engine.table_epochs(),
@@ -278,6 +299,7 @@ class EngineService:
         snapshot["inflight"] = self._inflight
         snapshot["max_inflight"] = self.max_inflight
         snapshot["epochs"] = self.engine.table_epochs()
+        snapshot["degradation"] = self.degradation.snapshot()
         return snapshot
 
     # -- internals -------------------------------------------------------
@@ -297,7 +319,20 @@ class EngineService:
             entry = self.cache.get(key)
             if entry is not None:
                 return entry, False
-            result = self.engine.execute(sql, mode_name)
+            try:
+                inject("serving.handler")  # handler exception mid-request
+                inject("serving.slow")  # slow execution (hang kind)
+                result = self.engine.execute(sql, mode_name)
+            except Exception as error:
+                # The gate and the admission slot are both released by
+                # the enclosing finally blocks; all that is left to do
+                # is make the failure observable before it propagates
+                # (to this leader and every coalesced follower).
+                self.metrics.increment("execution_errors")
+                DEGRADATION.record(
+                    "serving", "execution_error", f"query execution failed: {error!r}"
+                )
+                raise
             entry = CachedResult(
                 columns=tuple(result.columns),
                 rows=tuple(tuple(row) for row in result.rows),

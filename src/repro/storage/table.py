@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
+from repro.resilience import inject
 from repro.storage.schema import Schema, SchemaError
 
 
@@ -152,6 +153,7 @@ class Table:
         staged: List[Row] = []
         staged_ids: Dict[Any, int] = {}
         for raw in rows:
+            inject("table.append_row")  # mid-batch failure: nothing staged commits
             values = self._schema.coerce_row(raw) if coerce else tuple(raw)
             row = Row(self._schema, values)
             if row.id is None:
@@ -163,6 +165,27 @@ class Table:
         self._rows.extend(staged)
         self._by_id.update(staged_ids)
         return staged
+
+    def rollback_to(self, row_count: int) -> int:
+        """Discard rows appended past *row_count*; returns how many were.
+
+        Crash-recovery hook for the DML transaction
+        (:class:`repro.incremental.IndexMaintainer`): when index
+        amendment fails *after* a storage append committed, the
+        maintainer truncates the table back to its pre-insert length so
+        the whole batch observably never happened.  Only the tail can be
+        discarded — tables are append-only, so ``row_count`` denotes
+        exactly the pre-append snapshot.
+        """
+        if row_count < 0 or row_count > len(self._rows):
+            raise ValueError(
+                f"cannot roll back to {row_count} rows (table has {len(self._rows)})"
+            )
+        dropped = self._rows[row_count:]
+        for row in dropped:
+            self._by_id.pop(row.id, None)
+        del self._rows[row_count:]
+        return len(dropped)
 
     def select(self, predicate: Callable[[Row], bool], name: Optional[str] = None) -> "Table":
         """Return a new table containing the rows satisfying *predicate*."""

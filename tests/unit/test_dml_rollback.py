@@ -1,0 +1,181 @@
+"""Transactional DML: a failed INSERT leaves no trace (repro.incremental).
+
+Faults are injected at each stage of the ingest pipeline — per-row
+storage staging (``table.append_row``), index amendment
+(``dml.after_append``, ``dml.index_delta``) and pre-epoch commit
+(``dml.before_commit``) — and every test asserts the engine's observable
+state (rows, TBI, ITBI, postings, epoch, signatures) equals the
+pre-insert snapshot, exactly as if the INSERT had never been issued.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import QueryEREngine
+from repro.core.indices import TableIndex
+from repro.datagen import generate_people
+from repro.datagen.people import people_schema
+from repro.incremental import IngestError
+from repro.resilience import DEGRADATION, FaultError, FaultPlan, clear_plan, install_plan
+from repro.storage.table import Table
+
+
+@pytest.fixture(autouse=True)
+def _isolated():
+    clear_plan()
+    DEGRADATION.clear()
+    yield
+    clear_plan()
+    DEGRADATION.clear()
+
+
+@pytest.fixture()
+def people_split():
+    """120 base rows + 6 insert-batch rows of one dirty people table."""
+    table, _ = generate_people(126, seed=29, name="PPL")
+    rows = [tuple(row.values) for row in table]
+    return rows[:120], rows[120:]
+
+
+def fresh_engine(rows) -> QueryEREngine:
+    engine = QueryEREngine()
+    engine.register(Table("PPL", people_schema(), rows))
+    return engine
+
+
+def state_of(engine: QueryEREngine, name: str = "PPL") -> dict:
+    """Every piece of observable per-table state a rollback must restore."""
+    index = engine.index_of(name)
+    return {
+        "rows": [tuple(row.values) for row in index.table],
+        "tbi": {block.key: frozenset(block.entities) for block in index.tbi},
+        "itbi": {k: tuple(v) for k, v in index.itbi.items()},
+        "epoch": engine.epoch_of(name),
+        "signatures": index.signature_count,
+    }
+
+
+SQL = "SELECT DEDUP id, surname FROM PPL WHERE state = 'nsw'"
+
+
+def answer(engine: QueryEREngine):
+    return sorted(map(tuple, engine.execute(SQL).rows), key=repr)
+
+
+class TestRollbackRestoresState:
+    @pytest.mark.parametrize(
+        "site,stage",
+        [
+            ("dml.after_append", "index amendment"),
+            ("dml.index_delta", "index amendment"),
+            ("dml.before_commit", "commit"),
+        ],
+    )
+    def test_mid_ingest_fault_rolls_back_to_snapshot(self, people_split, site, stage):
+        base, extra = people_split
+        engine = fresh_engine(base)
+        before = state_of(engine)
+        install_plan(FaultPlan().add(site))
+        with pytest.raises(IngestError) as excinfo:
+            engine.insert("PPL", extra)
+        assert excinfo.value.stage == stage
+        assert excinfo.value.rolled_back
+        assert isinstance(excinfo.value.__cause__, FaultError)
+        assert state_of(engine) == before
+        assert any(e.site == "rollback" for e in DEGRADATION.events())
+
+    def test_mid_batch_index_fault_undoes_partial_amendment(self, people_split):
+        # Fire on the *third* entity of the batch: two records were fully
+        # amended into TBI/ITBI before the crash and must be backed out.
+        base, extra = people_split
+        engine = fresh_engine(base)
+        before = state_of(engine)
+        install_plan(FaultPlan().add("dml.index_delta", after=2))
+        with pytest.raises(IngestError):
+            engine.insert("PPL", extra)
+        assert state_of(engine) == before
+
+    def test_storage_staging_fault_mutates_nothing(self, people_split):
+        # table.append_row fires inside Table.append_rows' staging loop,
+        # which is atomic on its own: the fault surfaces raw (no partial
+        # append exists to roll back or wrap).
+        base, extra = people_split
+        engine = fresh_engine(base)
+        before = state_of(engine)
+        install_plan(FaultPlan().add("table.append_row", after=3))
+        with pytest.raises(FaultError):
+            engine.insert("PPL", extra)
+        assert state_of(engine) == before
+
+    def test_rollback_discards_then_rebuilds_postings(self, people_split):
+        base, extra = people_split
+        engine = fresh_engine(base)
+        index = engine.index_of("PPL")
+        assert index.postings.entity_count == len(base)  # materialize CSR
+        install_plan(FaultPlan().add("dml.before_commit"))
+        with pytest.raises(IngestError):
+            engine.insert("PPL", extra)
+        assert index.postings.entity_count == len(base)
+
+    def test_sql_insert_path_rolls_back_too(self, people_split):
+        base, _ = people_split
+        engine = fresh_engine(base)
+        before = state_of(engine)
+        install_plan(FaultPlan().add("dml.before_commit"))
+        with pytest.raises(IngestError):
+            engine.execute(
+                "INSERT INTO PPL (id, given_name) VALUES (999999, 'ghost')"
+            )
+        assert state_of(engine) == before
+
+
+class TestRollbackEquivalence:
+    def test_rolled_back_engine_answers_like_never_inserted(self, people_split):
+        base, extra = people_split
+        faulted = fresh_engine(base)
+        install_plan(FaultPlan().add("dml.before_commit"))
+        with pytest.raises(IngestError):
+            faulted.insert("PPL", extra)
+        clear_plan()
+        assert answer(faulted) == answer(fresh_engine(base))
+
+    def test_retry_after_rollback_equals_grown_fresh_engine(self, people_split):
+        base, extra = people_split
+        faulted = fresh_engine(base)
+        install_plan(FaultPlan().add("dml.index_delta"))
+        with pytest.raises(IngestError):
+            faulted.insert("PPL", extra)
+        clear_plan()
+        result = faulted.insert("PPL", extra)  # the client's retry
+        assert result.inserted == len(extra)
+        assert faulted.epoch_of("PPL") == 2  # register + one committed batch
+        assert answer(faulted) == answer(fresh_engine(base + extra))
+
+
+class TestIndexDeltaAtomicity:
+    def test_add_records_failure_leaves_index_untouched(self, people_split):
+        base, extra = people_split
+        table = Table("PPL", people_schema(), base)
+        index = TableIndex(table)
+        tbi_before = {b.key: frozenset(b.entities) for b in index.tbi}
+        itbi_before = {k: tuple(v) for k, v in index.itbi.items()}
+        appended = table.append_rows(extra)
+        install_plan(FaultPlan().add("dml.index_delta", after=2))
+        with pytest.raises(FaultError):
+            index.add_records([row.id for row in appended])
+        assert {b.key: frozenset(b.entities) for b in index.tbi} == tbi_before
+        assert {k: tuple(v) for k, v in index.itbi.items()} == itbi_before
+
+    def test_remove_records_reverses_add_records(self, people_split):
+        base, extra = people_split
+        table = Table("PPL", people_schema(), base)
+        index = TableIndex(table)
+        tbi_before = {b.key: frozenset(b.entities) for b in index.tbi}
+        itbi_before = {k: tuple(v) for k, v in index.itbi.items()}
+        appended = table.append_rows(extra)
+        delta = index.add_records([row.id for row in appended])
+        assert delta.affected_ids  # the batch really amended something
+        index.remove_records(delta)
+        assert {b.key: frozenset(b.entities) for b in index.tbi} == tbi_before
+        assert {k: tuple(v) for k, v in index.itbi.items()} == itbi_before
