@@ -15,6 +15,15 @@ one JSON object with ``--format json`` for machine consumers.
 running one query (see :mod:`repro.serving`):
 
     python -m repro serve --csv publications.csv --port 7531
+
+``repro save`` / ``repro load`` snapshot a built engine to disk and
+query it back without rebuilding (see :mod:`repro.persist`); ``repro
+serve --data-dir DIR`` warm-starts from such a snapshot and checkpoints
+every committed insert back into it:
+
+    python -m repro save --csv publications.csv --data-dir snap/
+    python -m repro load --data-dir snap/ "SELECT DEDUP * FROM publications"
+    python -m repro serve --data-dir snap/ --port 7531
 """
 
 from __future__ import annotations
@@ -151,6 +160,22 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="result-cache capacity in entries; 0 disables (default: %(default)s)",
     )
     parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="snapshot directory (repro.persist): warm-start from it when "
+        "it holds a snapshot, create one otherwise, and checkpoint every "
+        "committed INSERT batch into it on a background writer",
+    )
+    parser.add_argument(
+        "--checkpoint-deltas",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="compact a table's snapshot once it exceeds N delta segments "
+        "(default: 8; only meaningful with --data-dir)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the structured per-request JSON log lines on stderr",
@@ -173,8 +198,8 @@ def run_serve(argv: Sequence[str], output=None) -> int:
 
     output = output if output is not None else sys.stdout
     args = build_serve_parser().parse_args(argv)
-    if not args.csv:
-        print("error: at least one --csv table is required", file=sys.stderr)
+    if not args.csv and not args.data_dir:
+        print("error: need at least one --csv table or a --data-dir snapshot", file=sys.stderr)
         return 2
     if args.faults:
         from repro.resilience import FaultPlan, install_plan
@@ -182,12 +207,46 @@ def run_serve(argv: Sequence[str], output=None) -> int:
         plan = FaultPlan.parse(args.faults)
         install_plan(plan)
         print(f"fault injection armed: sites={plan.sites}", file=output)
-    engine = QueryEREngine(match_threshold=args.threshold, execution=args.workers)
+    engine = None
+    if args.data_dir:
+        from repro.persist import read_manifest
+
+        try:
+            manifest = read_manifest(args.data_dir)
+        except Exception as error:
+            print(f"error: unreadable snapshot in {args.data_dir}: {error}", file=sys.stderr)
+            return 2
+        if manifest is not None:
+            engine = QueryEREngine.load(args.data_dir, execution=args.workers)
+            for name in sorted(engine.table_epochs()):
+                table = engine.catalog.get(name)
+                print(
+                    f"warm-started table {table.name} ({len(table)} rows, "
+                    f"epoch {engine.epoch_of(name)}) from {args.data_dir}",
+                    file=output,
+                )
+    if engine is None:
+        engine = QueryEREngine(match_threshold=args.threshold, execution=args.workers)
     for spec in args.csv:
         name, _, path = spec.rpartition("=")
+        if (name or None) and name.lower() in engine.catalog:
+            continue  # snapshot already holds this table; keep the warm copy
         table = read_csv(path or spec, name=name or None)
+        if table.name.lower() in engine.catalog:
+            continue
         engine.register(table)
         print(f"registered table {table.name} ({len(table)} rows)", file=output)
+    if args.data_dir:
+        manager = engine.enable_checkpointing(
+            args.data_dir,
+            delta_threshold=args.checkpoint_deltas,
+            background=True,
+        )
+        print(
+            f"checkpointing to {args.data_dir} "
+            f"(compaction past {manager.delta_threshold} deltas)",
+            file=output,
+        )
     service = EngineService(
         engine,
         max_inflight=args.max_inflight,
@@ -206,12 +265,149 @@ def run_serve(argv: Sequence[str], output=None) -> int:
     return 0
 
 
+def build_save_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro save",
+        description="build the engine over CSV tables and snapshot it to disk",
+    )
+    parser.add_argument(
+        "--csv",
+        action="append",
+        default=[],
+        metavar="[NAME=]PATH",
+        help="CSV file to register (repeatable); NAME defaults to the file stem",
+    )
+    parser.add_argument(
+        "--data-dir",
+        required=True,
+        metavar="DIR",
+        help="snapshot directory to (over)write",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.75,
+        help="schema-agnostic match threshold in [0, 1] (default: 0.75)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="parallel Comparison-Execution workers (default: auto-detect)",
+    )
+    return parser
+
+
+def build_load_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro load",
+        description="load a snapshot and query it without rebuilding indices",
+    )
+    parser.add_argument(
+        "query",
+        nargs="?",
+        default=None,
+        help="SQL to run against the loaded engine (omit to just summarize)",
+    )
+    parser.add_argument(
+        "--data-dir",
+        required=True,
+        metavar="DIR",
+        help="snapshot directory to load",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=[m.value for m in ExecutionMode],
+        default=ExecutionMode.AES.value,
+        help="execution strategy for DEDUP queries (default: aes)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="result rendering (default: table)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="parallel Comparison-Execution workers (default: auto-detect)",
+    )
+    return parser
+
+
+def run_save(argv: Sequence[str], output=None) -> int:
+    """``repro save``: cold-build from CSVs, write one base snapshot."""
+    from repro.persist import snapshot_size_bytes
+
+    output = output if output is not None else sys.stdout
+    args = build_save_parser().parse_args(argv)
+    if not args.csv:
+        print("error: at least one --csv table is required", file=sys.stderr)
+        return 2
+    engine = QueryEREngine(match_threshold=args.threshold, execution=args.workers)
+    for spec in args.csv:
+        name, _, path = spec.rpartition("=")
+        table = read_csv(path or spec, name=name or None)
+        engine.register(table)
+        print(f"registered table {table.name} ({len(table)} rows)", file=output)
+    try:
+        manifest = engine.save(args.data_dir)
+    except Exception as error:
+        print(f"error: snapshot failed: {error}", file=sys.stderr)
+        return 1
+    total = snapshot_size_bytes(args.data_dir)
+    print(
+        f"saved {len(manifest['tables'])} table(s) to {args.data_dir} "
+        f"({total} bytes)",
+        file=output,
+    )
+    return 0
+
+
+def run_load(argv: Sequence[str], output=None) -> int:
+    """``repro load``: warm-load a snapshot; summarize or run one query."""
+    output = output if output is not None else sys.stdout
+    args = build_load_parser().parse_args(argv)
+    try:
+        engine = QueryEREngine.load(args.data_dir, execution=args.workers)
+    except Exception as error:
+        print(f"error: cannot load snapshot from {args.data_dir}: {error}", file=sys.stderr)
+        return 1
+    if args.query is None:
+        for name in sorted(engine.table_epochs()):
+            table = engine.catalog.get(name)
+            index = engine.index_of(name)
+            print(
+                f"{table.name}: {len(table)} rows, epoch {engine.epoch_of(name)}, "
+                f"|TBI|={index.block_count}, LI={index.link_index.resolved_count} resolved",
+                file=output,
+            )
+        return 0
+    try:
+        result = engine.execute(args.query, args.mode)
+    except Exception as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(_json_result(result), file=output)
+    else:
+        print(format_table(result.columns, result.rows), file=output)
+    return 0
+
+
 def run(argv: Optional[Sequence[str]] = None, output=None) -> int:
     """CLI entry point; returns the process exit code."""
     output = output if output is not None else sys.stdout
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve":
         return run_serve(argv[1:], output=output)
+    if argv and argv[0] == "save":
+        return run_save(argv[1:], output=output)
+    if argv and argv[0] == "load":
+        return run_load(argv[1:], output=output)
     args = build_parser().parse_args(argv)
     if not args.csv:
         print("error: at least one --csv table is required", file=sys.stderr)

@@ -118,6 +118,12 @@ class QueryEREngine:
         self.sample_stats = sample_stats
         self._indices: Dict[str, TableIndex] = {}
         self._epochs: Dict[str, int] = {}
+        # Epochs of unregistered tables: a re-registration under the same
+        # name resumes past its retired value, so an epoch never aliases
+        # two different table states across an unregister/register cycle
+        # (serving-layer result caches key on the epoch map).
+        self._retired_epochs: Dict[str, int] = {}
+        self._checkpointer = None
         self._statistics: Dict[str, TableStatistics] = {}
         self._matchers: Dict[str, ProfileMatcher] = {}
         self._join_percentages: Dict[Tuple[str, str, str, str], Tuple[float, float]] = {}
@@ -145,8 +151,11 @@ class QueryEREngine:
             self._purge_cached_state(key)
         # Registration (fresh or replacing) opens a new epoch: any
         # artefact keyed on a previous epoch of this name is now
-        # unservable by construction.
-        self._epochs[key] = self._epochs.get(key, 0) + 1
+        # unservable by construction.  Resuming past a retired epoch
+        # keeps epochs unique across unregister/re-register cycles.
+        self._epochs[key] = (
+            max(self._epochs.get(key, 0), self._retired_epochs.pop(key, 0)) + 1
+        )
         self._indices[key] = index
         matcher = ProfileMatcher(
             threshold=self.match_threshold,
@@ -156,6 +165,122 @@ class QueryEREngine:
         if self.sample_stats:
             self._statistics[key] = TableStatistics(index, matcher)
         return index
+
+    def unregister(self, name: str) -> bool:
+        """Remove a table and *every* engine artefact derived from it.
+
+        Purges the catalog entry, the TBI/ITBI/LI bundle, the matcher,
+        cached statistics and every join percentage involving the table
+        — leaving any of them would hand later queries (or the planner)
+        state of a dead index.  The epoch entry is removed from
+        :meth:`table_epochs` but its value is *retired*, so a later
+        re-registration under the same name opens a strictly larger
+        epoch instead of restarting at 1 (epoch-keyed caches — candidate
+        plans, served results — would otherwise alias the old table's
+        artefacts).  Returns whether the table was registered.
+        """
+        key = name.lower()
+        known = key in self._indices or key in self.catalog
+        self.catalog.unregister(key)
+        self._indices.pop(key, None)
+        self._matchers.pop(key, None)
+        self._purge_cached_state(key)
+        epoch = self._epochs.pop(key, None)
+        if epoch is not None:
+            self._retired_epochs[key] = max(epoch, self._retired_epochs.get(key, 0))
+        return known
+
+    def adopt(
+        self,
+        index: TableIndex,
+        epoch: int,
+        statistics: Optional[TableStatistics] = None,
+    ) -> None:
+        """Install a pre-built :class:`TableIndex` at a given epoch.
+
+        The warm-restart hook of :func:`repro.persist.load_engine`:
+        unlike :meth:`register` nothing is rebuilt — the index, its
+        vocabulary/postings/LI and (when given) the persisted statistics
+        are adopted as-is, and the epoch counter is set to the snapshot's
+        recorded value so epoch-keyed artefacts computed against the
+        saved engine stay addressable.
+        """
+        table = index.table
+        key = table.name.lower()
+        self.catalog.register(table, replace=True)
+        self._purge_cached_state(key)
+        self._indices[key] = index
+        self._matchers[key] = ProfileMatcher(
+            threshold=self.match_threshold,
+            exclude=(table.schema.id_column,),
+        )
+        self._epochs[key] = max(int(epoch), self._retired_epochs.pop(key, 0) + 1)
+        if statistics is not None:
+            self._statistics[key] = statistics
+
+    # -- persistence ------------------------------------------------------
+    def save(self, directory) -> Dict[str, Any]:
+        """Write a full snapshot of this engine (see :mod:`repro.persist`)."""
+        from repro.persist.snapshot import save_engine
+
+        return save_engine(self, directory)
+
+    @classmethod
+    def load(cls, directory, **overrides) -> "QueryEREngine":
+        """Reconstruct a warm engine from a snapshot directory.
+
+        Answers every query bit-identically to the engine that was
+        saved — no tokenization, blocking build or statistics sampling
+        re-runs.  Keyword *overrides* (``execution=``, ``meta_blocking=``,
+        ``match_threshold=``, …) take precedence over the manifest's
+        recorded configuration.
+        """
+        from repro.persist.snapshot import load_engine
+
+        return load_engine(directory, **overrides)
+
+    def enable_checkpointing(
+        self,
+        directory,
+        delta_threshold: Optional[int] = None,
+        background: bool = False,
+    ):
+        """Keep *directory* in step with this engine from now on.
+
+        Ensures a base snapshot exists (a no-op when the engine was just
+        loaded from that very directory — the warm-start path), then
+        checkpoints every committed ``INSERT INTO`` batch as an
+        epoch-tagged delta segment; see
+        :class:`repro.persist.CheckpointManager`.
+        """
+        from repro.persist.checkpoint import DEFAULT_DELTA_THRESHOLD, CheckpointManager
+
+        manager = CheckpointManager(
+            self,
+            directory,
+            delta_threshold=(
+                DEFAULT_DELTA_THRESHOLD if delta_threshold is None else delta_threshold
+            ),
+            background=background,
+        )
+        manager.ensure_snapshot()
+        self._checkpointer = manager
+        return manager
+
+    @property
+    def checkpointer(self):
+        """The attached :class:`CheckpointManager`, or ``None``."""
+        return self._checkpointer
+
+    def _notify_committed(self, name: str, count: int) -> None:
+        """Post-commit hook from the maintainer: checkpoint the batch.
+
+        Runs strictly after the epoch advanced, i.e. only for batches
+        that actually committed — a rolled-back insert never reaches
+        this point, so it can never reach disk.
+        """
+        if self._checkpointer is not None:
+            self._checkpointer.on_commit(name, count)
 
     # -- epochs ----------------------------------------------------------
     def epoch_of(self, name: str) -> int:

@@ -134,6 +134,96 @@ class TableIndex:
         # on first packed query and amended delta-wise on appends.
         self._postings: Optional[TokenPostings] = None
 
+    # -- (de)hydration ----------------------------------------------------
+    def to_arrays(self) -> Dict[str, Any]:
+        """Dehydrate the blocking state as a forward CSR over token ids.
+
+        Returns ``itbi_indptr`` / ``itbi_tokens`` — each row's blocking
+        keys (in table row order) interned into the table's
+        :class:`~repro.er.tokenizer.TokenVocabulary`.  Interning is
+        append-only and idempotent, so reading the arrays may grow the
+        vocabulary (keys of tables that never materialized postings)
+        but never perturbs existing ids.  Together with the vocabulary's
+        token list this is everything :meth:`from_arrays` needs to
+        rebuild the TBI, ITBI and postings without re-tokenizing a
+        single attribute value.
+        """
+        intern = self.vocabulary.intern
+        indptr: List[int] = [0]
+        tokens: List[int] = []
+        for row in self.table:
+            for key in self.itbi.get(row.id, ()):
+                tokens.append(intern(key))
+            indptr.append(len(tokens))
+        return {"itbi_indptr": indptr, "itbi_tokens": tokens}
+
+    def signature_ids(self) -> Tuple[Any, ...]:
+        """Ids of the entities whose profile signatures are cached."""
+        return tuple(self._signatures)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        table: Table,
+        vocabulary: TokenVocabulary,
+        itbi_indptr: Any,
+        itbi_tokens: Any,
+        blocking: Optional[TokenBlocking] = None,
+        link_pairs: Iterable[Tuple[Any, Any]] = (),
+        resolved: Iterable[Any] = (),
+        signature_ids: Iterable[Any] = (),
+    ) -> "TableIndex":
+        """Rehydrate a :class:`TableIndex` from persisted arrays.
+
+        The inverse of :meth:`to_arrays`: the TBI falls out of inverting
+        the per-row key lists, ITBI ordering is re-derived from the
+        restored block sizes ((|b|, key) is a pure function of the TBI,
+        exactly what the DML undo path relies on), postings rebuild
+        lazily from the re-sorted ITBI, and recorded signatures are
+        rebuilt against the restored vocabulary — every token they
+        intern is already present, so their ids are bit-identical to the
+        saved engine's.  No attribute value is ever re-tokenized.
+        """
+        index = cls.__new__(cls)
+        index.table = table
+        index.entities = EntityCollection(table)
+        index.blocking = blocking or TokenBlocking(
+            exclude_attributes=(table.schema.id_column,)
+        )
+        index.vocabulary = vocabulary
+        index.tbi = BlockCollection()
+        index.itbi = {}
+        token_of = vocabulary.token_of
+        for position, row in enumerate(table):
+            start, stop = int(itbi_indptr[position]), int(itbi_indptr[position + 1])
+            keys = [token_of(int(t)) for t in itbi_tokens[start:stop]]
+            for key in keys:
+                index.tbi.add(key, row.id)
+            # Token-less rows get no ITBI entry, matching inverted().
+            if keys:
+                index.itbi[row.id] = keys
+
+        def size_order(key: str):
+            return (index.tbi.get(key).size, key)
+
+        for keys in index.itbi.values():
+            keys.sort(key=size_order)
+        index.link_index = LinkIndex()
+        index.link_index.add_links(link_pairs)
+        index.link_index.mark_resolved(resolved)
+        index._signatures = {}
+        index._signature_exclude = frozenset({table.schema.id_column.lower()})
+        # Postings stay lazy: the persisted CSR freezes each row's key
+        # order as of its segment's write, but packed Block Filtering
+        # needs ascending-by-*current*-block-size order.  Building from
+        # the freshly re-sorted ITBI on first use (the exact lazy path a
+        # fresh registration takes) guarantees that — at counting-sort
+        # cost, with zero re-tokenization.
+        index._postings = None
+        for entity_id in signature_ids:
+            index.signature_of(entity_id)
+        return index
+
     # -- columnar postings ------------------------------------------------
     @property
     def postings(self) -> TokenPostings:

@@ -186,6 +186,33 @@ class TableStatistics:
         """Record that *count* rows were ingested since this sample ran."""
         self.appended_rows += count
 
+    # -- (de)hydration ---------------------------------------------------
+    def to_state(self) -> Dict[str, Any]:
+        """The statistic's full state as plain JSON-serializable fields."""
+        return {
+            "sample_size": self.sample_size,
+            "sample_duplicates": self.sample_duplicates,
+            "duplication_factor": self.duplication_factor,
+            "base_rows": self.base_rows,
+            "appended_rows": self.appended_rows,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "TableStatistics":
+        """Rehydrate a persisted statistic without re-running the sample.
+
+        A statistic restored with ``appended_rows > 0`` reports itself
+        :attr:`stale` exactly like the live one did, so the engine's
+        lazy-recompute path behaves identically after a reload.
+        """
+        statistics = cls.__new__(cls)
+        statistics.sample_size = int(state["sample_size"])
+        statistics.sample_duplicates = int(state["sample_duplicates"])
+        statistics.duplication_factor = float(state["duplication_factor"])
+        statistics.base_rows = int(state["base_rows"])
+        statistics.appended_rows = int(state["appended_rows"])
+        return statistics
+
     @property
     def stale(self) -> bool:
         """Whether appends since sampling invalidate the duplication factor.

@@ -324,6 +324,51 @@ class TokenPostings:
         postings.compact()
         return postings
 
+    @classmethod
+    def from_arrays(
+        cls,
+        entity_ids: Iterable[Any],
+        indptr: Any,
+        tokens: Any,
+        vocabulary: TokenVocabulary,
+    ) -> "TokenPostings":
+        """Rehydrate postings from a persisted forward CSR (no tokenizing).
+
+        ``indptr``/``tokens`` are the arrays :meth:`to_arrays` produced
+        (entities in dense-id order, token ids interned in
+        *vocabulary*).  The inverted CSR is rebuilt with the same
+        counting sort :meth:`build` uses, so the result is
+        indistinguishable from a bulk build over the original keys.
+        """
+        postings = cls(vocabulary)
+        postings._entity_ids = list(entity_ids)
+        postings._entity_index = {e: i for i, e in enumerate(postings._entity_ids)}
+        postings._ent_indptr = _GrowableIntArray(_np.asarray(indptr, dtype=_np.int64))
+        postings._ent_tokens = _GrowableIntArray(_np.asarray(tokens, dtype=_np.int64))
+        if len(postings._ent_indptr) != len(postings._entity_ids) + 1:
+            raise ValueError(
+                f"indptr has {len(postings._ent_indptr)} entries for "
+                f"{len(postings._entity_ids)} entities"
+            )
+        postings._sizes.pad_to(len(vocabulary))
+        if len(postings._ent_tokens):
+            _np.add.at(postings._sizes.view(), postings._ent_tokens.view(), 1)
+        postings.compact()
+        return postings
+
+    def to_arrays(self) -> Dict[str, Any]:
+        """Dehydrate the forward CSR (entity order + indptr + token ids).
+
+        The inverted side is derived state (one counting sort away), so
+        only the forward arrays need persisting; :meth:`from_arrays`
+        restores both.
+        """
+        return {
+            "entity_ids": list(self._entity_ids),
+            "indptr": self._ent_indptr.view().copy(),
+            "tokens": self._ent_tokens.view().copy(),
+        }
+
     def add_entity(self, entity_id: Any, keys: Iterable[str]) -> int:
         """Append one entity's postings (an ``INSERT`` delta step).
 

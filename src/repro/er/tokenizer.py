@@ -114,6 +114,15 @@ class TokenVocabulary:
     def token_of(self, token_id: int) -> str:
         return self._tokens[token_id]
 
+    def tokens(self, start: int = 0) -> List[str]:
+        """The interned tokens in id order, from *start* on.
+
+        Interning is append-only, so ``tokens(n)`` is exactly what was
+        interned since the vocabulary had ``n`` entries — the
+        persistence layer's delta checkpoints are built on this.
+        """
+        return self._tokens[start:]
+
     def id_of(self, token: str) -> int:
         """The id of an already-interned token (KeyError when unknown)."""
         return self._ids[token]

@@ -140,6 +140,11 @@ class IndexMaintainer:
             if isinstance(error, Exception):
                 raise IngestError(table.name, stage, error) from error
             raise  # KeyboardInterrupt/SystemExit: rolled back, not wrapped
+        # Post-commit, outside the transaction: the delta checkpoint hook
+        # (repro.persist) only ever sees batches whose epoch advanced —
+        # rolled-back inserts never reach disk — and a checkpoint failure
+        # degrades service health without failing the committed insert.
+        self.engine._notify_committed(table.name, len(appended))
         return IngestResult(
             table=table.name,
             inserted=len(appended),

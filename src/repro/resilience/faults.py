@@ -24,6 +24,8 @@ site                      where it fires
 ``packed.derive``         entry of the packed blocking pipeline
 ``serving.handler``       inside the serving gate, before engine execution
 ``serving.slow``          inside the serving gate (``hang`` kind)
+``persist.write``         before a snapshot file's temp write starts
+``persist.rename``        after the temp write, before the atomic rename
 ========================  ==================================================
 
 Plans are deterministic: firing decisions come from a plan-owned

@@ -282,7 +282,7 @@ class EngineService:
         service can answer at all — ``degraded`` flags that some layer
         has taken a graceful fallback (details under ``/metrics``)."""
         degradation = self.degradation.layer_counts()
-        return {
+        payload = {
             "status": "ok",
             "degraded": bool(degradation),
             "degradation": degradation,
@@ -291,6 +291,14 @@ class EngineService:
             "epochs": self.engine.table_epochs(),
             "inflight": self._inflight,
         }
+        persist = self._persist_status()
+        if persist is not None:
+            payload["persist"] = {
+                "snapshot_epoch_map": persist["snapshot_epoch_map"],
+                "last_checkpoint_age_s": persist["last_checkpoint_age_s"],
+                "delta_segments": persist["delta_segments"],
+            }
+        return payload
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         snapshot = self.metrics.snapshot()
@@ -300,7 +308,21 @@ class EngineService:
         snapshot["max_inflight"] = self.max_inflight
         snapshot["epochs"] = self.engine.table_epochs()
         snapshot["degradation"] = self.degradation.snapshot()
+        persist = self._persist_status()
+        if persist is not None:
+            snapshot["persist"] = persist
         return snapshot
+
+    def _persist_status(self) -> Optional[Dict[str, Any]]:
+        """The checkpointer's health block, when one is attached.
+
+        How far the on-disk snapshot lags the live engine is readable
+        from ``snapshot_epoch_map`` (vs ``epochs``), the last-checkpoint
+        age, and the delta-segment count (how much replay a restart
+        would concatenate before the next compaction folds it away).
+        """
+        checkpointer = getattr(self.engine, "checkpointer", None)
+        return checkpointer.status() if checkpointer is not None else None
 
     # -- internals -------------------------------------------------------
     def _execute_gated(

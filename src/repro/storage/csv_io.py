@@ -46,16 +46,23 @@ def read_csv(
             raise ValueError(f"{path}: empty CSV file (no header)") from None
         if schema is None:
             schema = Schema.of(*[h.strip() for h in header], id_column=id_column)
-        rows = []
-        for lineno, record in enumerate(reader, start=2):
-            if not record or all(field == "" for field in record):
-                continue
-            if len(record) != len(schema):
-                raise ValueError(
-                    f"{path}:{lineno}: expected {len(schema)} fields, got {len(record)}"
-                )
-            rows.append(record)
-    return Table(table_name, schema, rows)
+
+        # Stream records straight into Table construction instead of
+        # materializing a second full copy of the file next to the rows
+        # the table is about to build anyway — on multi-GB CSVs the
+        # intermediate list was briefly doubling peak memory.
+        def records():
+            for lineno, record in enumerate(reader, start=2):
+                if not record or all(field == "" for field in record):
+                    continue
+                if len(record) != len(schema):
+                    raise ValueError(
+                        f"{path}:{lineno}: expected {len(schema)} fields, "
+                        f"got {len(record)}"
+                    )
+                yield record
+
+        return Table(table_name, schema, records())
 
 
 def write_csv(table: Table, path: Union[str, Path], delimiter: str = ",") -> None:

@@ -140,6 +140,34 @@ class Table:
         pos = self._by_id.get(entity_id)
         return None if pos is None else self._rows[pos]
 
+    def column_values(self, start: int = 0, stop: Optional[int] = None) -> List[List[Any]]:
+        """Columnar view of rows ``[start:stop)``: one value list per column.
+
+        The (de)hydration hook the persistence layer's columnar segments
+        are written from; :meth:`from_columns` is its inverse.
+        """
+        rows = self._rows[start : len(self._rows) if stop is None else stop]
+        return [list(column) for column in zip(*(r.values for r in rows))] or [
+            [] for _ in self._schema.columns
+        ]
+
+    @classmethod
+    def from_columns(
+        cls, name: str, schema: Schema, columns: Sequence[Sequence[Any]]
+    ) -> "Table":
+        """Build a table from per-column value lists (already typed).
+
+        Values are trusted — they came out of :meth:`column_values` (via
+        the persistence codec, which round-trips exactly) — so no
+        per-value coercion runs; id non-nullness and uniqueness are
+        still enforced by the append path.
+        """
+        if len(columns) != len(schema):
+            raise SchemaError(
+                f"{len(columns)} column arrays for {len(schema)}-column schema"
+            )
+        return cls(name, schema, zip(*columns) if columns else (), coerce=False)
+
     def append_rows(self, rows: Iterable[Sequence[Any]], coerce: bool = True) -> List[Row]:
         """Append *rows* atomically, returning the built :class:`Row` objects.
 

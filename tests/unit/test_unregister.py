@@ -1,0 +1,85 @@
+"""Dropping a table purges every engine artefact derived from it.
+
+Regression suite for the stale-state bug: ``Catalog.unregister`` used to
+remove only the catalog entry, leaving the TBI/ITBI bundle, matcher,
+cached statistics, join-percentage cache and epoch entry behind — a
+re-registered table under the same name could then serve another
+table's blocking index or alias its epoch-keyed caches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import QueryEREngine
+from repro.datagen import generate_people
+from repro.datagen.people import people_schema
+from repro.storage.catalog import TableNotFoundError
+from repro.storage.table import Table
+
+
+def people_rows(size: int, seed: int):
+    table, _ = generate_people(size, seed=seed, name="PPL")
+    return [tuple(row.values) for row in table]
+
+
+@pytest.fixture()
+def engine() -> QueryEREngine:
+    e = QueryEREngine(sample_stats=False)
+    e.register(Table("PPL", people_schema(), people_rows(80, seed=5)))
+    return e
+
+
+class TestUnregister:
+    def test_removes_catalog_entry(self, engine):
+        assert engine.unregister("PPL") is True
+        assert "ppl" not in engine.catalog
+        with pytest.raises(TableNotFoundError):
+            engine.execute("SELECT id FROM PPL")
+
+    def test_unknown_table_is_a_noop(self, engine):
+        assert engine.unregister("nope") is False
+        assert engine.epoch_of("PPL") == 1  # untouched
+
+    def test_purges_index_and_matcher(self, engine):
+        engine.unregister("PPL")
+        assert "ppl" not in engine._indices
+        assert "ppl" not in engine._matchers
+        with pytest.raises(KeyError):
+            engine.index_of("PPL")
+
+    def test_purges_statistics(self, engine):
+        engine.statistics_of("PPL")  # populate the cache
+        assert "ppl" in engine._statistics
+        engine.unregister("PPL")
+        assert "ppl" not in engine._statistics
+
+    def test_purges_join_percentages(self, engine):
+        engine.register(Table("OTHER", people_schema(), people_rows(40, seed=9)))
+        engine._join_percentages[("ppl", "other", "id", "id")] = (1.0, 1.0)
+        engine._join_percentages[("other", "ppl", "id", "id")] = (1.0, 1.0)
+        engine.unregister("PPL")
+        assert not any("ppl" in key for key in engine._join_percentages)
+
+    def test_epoch_entry_removed_but_retired(self, engine):
+        engine.insert("PPL", [people_rows(81, seed=5)[-1]])
+        retired = engine.epoch_of("PPL")
+        assert retired == 2
+        engine.unregister("PPL")
+        assert "ppl" not in engine.table_epochs()
+        # Re-registration must open a strictly larger epoch: epoch-keyed
+        # caches (parallel plans, served results) would otherwise alias
+        # artefacts of the dead table.
+        engine.register(Table("PPL", people_schema(), people_rows(10, seed=6)))
+        assert engine.epoch_of("PPL") > retired
+
+    def test_reregistered_table_serves_its_own_rows(self, engine):
+        engine.unregister("PPL")
+        replacement = people_rows(12, seed=77)
+        engine.register(Table("PPL", people_schema(), replacement))
+        result = engine.execute("SELECT id FROM PPL")
+        assert sorted(row[0] for row in result.rows) == sorted(
+            row[0] for row in replacement
+        )
+        # The blocking index belongs to the replacement, not the old table.
+        assert len(engine.index_of("PPL").table) == len(replacement)
