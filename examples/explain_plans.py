@@ -1,0 +1,92 @@
+"""EXPLAIN walkthrough: heuristic vs cost-optimized plans (repro.optimizer).
+
+Builds three dirty tables (people, organisations, projects), writes a
+three-way DEDUP query in a deliberately *bad* FROM order — the big
+unfiltered people table first, the selective programme filter on the
+last-joined projects table — and shows:
+
+1. the heuristic plan a FROM-order planner is stuck with,
+2. the optimized plan (meta-blocking off, so reordering is
+   identity-safe) with its estimated and heuristic costs,
+3. why the default meta-blocking configuration makes the optimizer
+   fall back (the identity gate),
+4. EXPLAIN ANALYZE's estimated-vs-actual report, and
+5. that both plans return byte-identical rows with fewer executed
+   comparisons under the optimizer.
+
+Run:  python examples/explain_plans.py
+"""
+
+import json
+
+from repro import QueryEREngine
+from repro.datagen import generate_organizations, generate_people, generate_projects
+from repro.er.meta_blocking import MetaBlockingConfig
+
+SQL = (
+    "SELECT DEDUP P.surname, O.name, J.title "
+    "FROM PPL P "
+    "JOIN OAO O ON P.organisation = O.name "
+    "JOIN OAP J ON J.organisation = O.name "
+    "WHERE J.programme = 'fp7'"
+)
+
+
+def tables():
+    organisations, _ = generate_organizations(100, seed=31)
+    names = [row["name"] for row in organisations]
+    unknown = [f"unlisted employer {i}" for i in range(100)]
+    people, _ = generate_people(400, organisations=names[:50] + unknown, seed=32)
+    projects, _ = generate_projects(200, organisations=names, join_fraction=0.7, seed=33)
+    return people, organisations, projects
+
+
+def build(optimizer: bool, meta_blocking=None) -> QueryEREngine:
+    engine = QueryEREngine(
+        meta_blocking=meta_blocking or MetaBlockingConfig.none(),
+        optimizer=optimizer,
+    )
+    for table in tables():
+        engine.register(table)
+    return engine
+
+
+def canonical(rows):
+    return json.dumps(sorted([list(map(str, row)) for row in rows]))
+
+
+def main() -> None:
+    print("Query (deliberately bad FROM order):\n   ", SQL, "\n")
+
+    print("1. Heuristic plan (optimizer disabled):")
+    print(build(optimizer=False).explain(SQL))
+
+    optimized = build(optimizer=True)
+    print("\n2. Optimized plan (meta-blocking off -> identity-safe):")
+    print(optimized.explain(SQL))
+
+    gated = build(optimizer=True, meta_blocking=MetaBlockingConfig.all())
+    print("\n3. Same query under default meta-blocking (identity gate):")
+    print("\n".join(gated.explain(SQL).splitlines()[:2]))
+
+    print("\n4. EXPLAIN ANALYZE (estimates vs what actually ran):")
+    report = optimized.execute("EXPLAIN ANALYZE " + SQL).plan_description
+    for line in report.splitlines():
+        if line.startswith("--") or "actual" in line or "stage" in line:
+            print("   ", line)
+
+    print("\n5. Identity + the win:")
+    heuristic_engine = build(optimizer=False)
+    heuristic = heuristic_engine.execute(SQL)
+    winner = build(optimizer=True).execute(SQL)
+    assert canonical(winner.rows) == canonical(heuristic.rows)
+    print(f"    identical rows: True ({len(winner)} groups)")
+    print(
+        f"    comparisons: heuristic={heuristic.comparisons}, "
+        f"optimized={winner.comparisons} "
+        f"({heuristic.comparisons - winner.comparisons} saved)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,324 @@
+"""Planner benchmark: cost-based optimization vs the seed heuristic.
+
+Builds three datagen tables (PPL people, OAO organisations, OAP
+projects), then answers a pool of multi-table ``SELECT DEDUP`` queries
+twice — once on an engine with the optimizer disabled (the seed
+heuristic: FROM-order joins, first-join placement only) and once with
+it enabled (``repro.optimizer``: statistics-priced join orders and
+DEDUP placements).  Meta-blocking is off so every frontier-changing
+rewrite is identity-safe (see :func:`repro.optimizer.rules.identity_safe`).
+
+Two invariants are gated (exit 1 on violation):
+
+* **Identity** — the optimized answer is byte-identical to the
+  heuristic answer for every workload.  The optimizer may only change
+  *how* an answer is computed.
+* **Optimizer wins** — at least one multi-table workload executes
+  strictly fewer profile comparisons under the optimizer.  The pool
+  includes a deliberately bad FROM order (the big unfiltered table
+  written first, the selective filter on the last-joined table) that a
+  FROM-order planner cannot escape.
+
+Wall-clock is reported but never gated; comparison counts and row
+counts are deterministic (seeded datagen, seeded statistics sampling)
+and are what ``--check`` compares against the committed baseline.
+
+Emits ``BENCH_planner.json``.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.planner
+    PYTHONPATH=src python -m repro.bench.planner --quick \
+        --output /tmp/planner.json --check BENCH_planner.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.reporting import format_table
+from repro.core.engine import QueryEREngine
+from repro.datagen import generate_organizations, generate_people, generate_projects
+from repro.er.meta_blocking import MetaBlockingConfig
+
+SCHEMA = "repro/bench/planner/v1"
+
+#: Fixed dataset sizes (same in --quick) so comparison counts are
+#: byte-comparable across machines and runs.
+ORGS = 100
+PEOPLE = 400
+PROJECTS = 200
+
+
+def canonical(rows: Any) -> str:
+    """Byte-identity form of a result: canonical JSON of sorted rows."""
+    normalized = sorted([list(map(str, row)) for row in rows])
+    return json.dumps(normalized, separators=(",", ":"))
+
+
+def _tables():
+    organisations, _ = generate_organizations(ORGS, seed=31)
+    org_names = [row["name"] for row in organisations]
+    # Low join percentage on people (40% work at a known organisation)
+    # is the regime where placement/order pays off (§9.4).
+    known = org_names[: ORGS // 2]
+    unknown = [f"unlisted employer {i}" for i in range(ORGS)]
+    people, _ = generate_people(PEOPLE, organisations=known + unknown, seed=32)
+    projects, _ = generate_projects(
+        PROJECTS, organisations=org_names, join_fraction=0.7, seed=33
+    )
+    return people, organisations, projects
+
+
+def _engine(optimizer: bool) -> QueryEREngine:
+    # Meta-blocking off: BP/BF/EP thresholds depend on the dedup
+    # frontier, so with them on the optimizer refuses frontier-changing
+    # rewrites (by design) and there is nothing to benchmark.
+    return QueryEREngine(
+        meta_blocking=MetaBlockingConfig.none(),
+        optimizer=optimizer,
+        execution=1,
+    )
+
+
+def _workloads(quick: bool) -> List[Tuple[str, str]]:
+    # q-bad-order: the big unfiltered PPL table written first, the
+    # selective programme filter on the *last* join — a FROM-order
+    # planner cleans PPL's full frontier before anything shrinks it.
+    bad_order = (
+        "SELECT DEDUP P.given_name, P.surname, O.name, J.title "
+        "FROM PPL P "
+        "JOIN OAO O ON P.organisation = O.name "
+        "JOIN OAP J ON J.organisation = O.name "
+        "WHERE J.programme = 'fp7'"
+    )
+    # q-two-way: placement-only decision (which branch cleans first).
+    two_way = (
+        "SELECT DEDUP P.given_name, O.name "
+        "FROM PPL P JOIN OAO O ON P.organisation = O.name "
+        "WHERE P.state IN ('nt', 'act')"
+    )
+    # q-good-order: the same join graph as q-bad-order written
+    # selectively-first; the optimizer should keep (or match) it.
+    good_order = (
+        "SELECT DEDUP P.given_name, P.surname, O.name, J.title "
+        "FROM OAP J "
+        "JOIN OAO O ON J.organisation = O.name "
+        "JOIN PPL P ON P.organisation = O.name "
+        "WHERE J.programme = 'fp7'"
+    )
+    pool = [("q-bad-order", bad_order), ("q-two-way", two_way)]
+    if not quick:
+        pool.append(("q-good-order", good_order))
+    return pool
+
+
+def run(quick: bool = False) -> Dict[str, Any]:
+    pool = _workloads(quick)
+    people, organisations, projects = _tables()
+
+    phases: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    reference_rows: Dict[str, int] = {}
+    comparisons: Dict[str, Dict[str, int]] = {}
+    any_win = False
+
+    for qid, sql in pool:
+        legs: Dict[str, Any] = {}
+        answers: Dict[str, str] = {}
+        for leg in ("heuristic", "optimized"):
+            # Fresh engine per leg: progressive cleaning warms the Link
+            # Index, so reusing one would cross-contaminate comparison
+            # counts between legs.
+            engine = _engine(optimizer=leg == "optimized")
+            for table in (people, organisations, projects):
+                engine.register(table)
+            started = time.perf_counter()
+            result = engine.execute(sql)
+            elapsed = time.perf_counter() - started
+            answers[leg] = canonical(result.rows)
+            legs[leg] = {
+                "rows": len(result),
+                "comparisons": result.comparisons,
+                "elapsed_s": round(elapsed, 4),
+            }
+            if leg == "optimized":
+                plan_lines = engine.explain(sql)
+                legs[leg]["plan_source"] = (
+                    "optimized" if plan_lines.startswith("-- plan: optimized") else "heuristic"
+                )
+                # Same query again: the plan cache must serve it.
+                engine.execute(sql)
+                legs[leg]["plan_cache"] = engine.plan_cache.snapshot()
+
+        identical = answers["heuristic"] == answers["optimized"]
+        if not identical:
+            problems.append(f"{qid}: optimized answer diverged from heuristic")
+        won = legs["optimized"]["comparisons"] < legs["heuristic"]["comparisons"]
+        if legs["optimized"]["comparisons"] > legs["heuristic"]["comparisons"]:
+            problems.append(
+                f"{qid}: optimizer executed more comparisons "
+                f"({legs['optimized']['comparisons']} > {legs['heuristic']['comparisons']})"
+            )
+        if legs["optimized"]["plan_cache"]["hits"] < 1:
+            problems.append(f"{qid}: repeated query missed the plan cache")
+        any_win = any_win or won
+        reference_rows[qid] = legs["heuristic"]["rows"]
+        comparisons[qid] = {
+            "heuristic": legs["heuristic"]["comparisons"],
+            "optimized": legs["optimized"]["comparisons"],
+        }
+        phases.append(
+            {
+                "phase": qid,
+                "identical": identical,
+                "optimizer_won": won,
+                **{f"{leg}_{k}": v for leg, data in legs.items() for k, v in data.items()},
+            }
+        )
+
+    if not any_win:
+        problems.append(
+            "no workload executed fewer comparisons under the optimizer"
+        )
+
+    return {
+        "schema": SCHEMA,
+        "generated_unix": int(time.time()),
+        "python": ".".join(map(str, sys.version_info[:2])),
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "config": {
+            "orgs": ORGS,
+            "people": PEOPLE,
+            "projects": PROJECTS,
+            "meta_blocking": "none",
+            "queries": dict(pool),
+        },
+        "reference_rows": reference_rows,
+        "comparisons": comparisons,
+        "phases": phases,
+        "aggregate": {
+            "identical_results": not any("diverged" in p for p in problems),
+            "optimizer_won": any_win,
+            "problems": problems,
+        },
+    }
+
+
+def render(report: Dict[str, Any]) -> str:
+    rows = []
+    for phase in report["phases"]:
+        rows.append(
+            (
+                phase["phase"],
+                str(phase["heuristic_comparisons"]),
+                str(phase["optimized_comparisons"]),
+                str(phase["heuristic_rows"]),
+                "yes" if phase["identical"] else "NO",
+                "yes" if phase["optimizer_won"] else "no",
+            )
+        )
+    table = format_table(
+        ["workload", "heuristic cmps", "optimized cmps", "rows", "identical", "won"],
+        rows,
+        title="Planner benchmark (PPL%d / OAO%d / OAP%d)"
+        % (report["config"]["people"], report["config"]["orgs"], report["config"]["projects"]),
+    )
+    aggregate = report["aggregate"]
+    return table + (
+        f"\nidentical={aggregate['identical_results']}  "
+        f"optimizer_won={aggregate['optimizer_won']}  "
+        f"cpu_count={report['cpu_count']}"
+    )
+
+
+def check_shape(report: Dict[str, Any], baseline: Dict[str, Any]) -> List[str]:
+    """Deterministic-field drift vs the committed baseline.
+
+    Row counts, per-leg comparison counts and the identity/win
+    invariants must match; wall-clock is a machine property and never
+    gated.  A quick run checks only the workloads it executed.
+    """
+    problems: List[str] = []
+    if report.get("schema") != baseline.get("schema"):
+        return [f"schema drift: {report.get('schema')!r} != {baseline.get('schema')!r}"]
+    if not report["aggregate"]["identical_results"]:
+        problems.append("optimized answers diverged from heuristic execution")
+    if not report["aggregate"]["optimizer_won"]:
+        problems.append("optimizer no longer beats the heuristic anywhere")
+    baseline_rows = baseline.get("reference_rows", {})
+    baseline_cmps = baseline.get("comparisons", {})
+    for qid, count in report["reference_rows"].items():
+        reference = baseline_rows.get(qid)
+        if reference is None:
+            problems.append(f"workload {qid} not in baseline")
+        elif count != reference:
+            problems.append(f"{qid}: rows drifted {reference} -> {count}")
+    for qid, legs in report["comparisons"].items():
+        reference = baseline_cmps.get(qid)
+        if reference is None:
+            continue  # already reported above via reference_rows
+        for leg, count in legs.items():
+            if reference.get(leg) != count:
+                problems.append(
+                    f"{qid}/{leg}: comparisons drifted {reference.get(leg)} -> {count}"
+                )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.planner", description=__doc__.split("\n\n")[0]
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_planner.json",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke subset: 2 workloads instead of 3 (same dataset sizes)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare deterministic result fields against a committed "
+        "baseline JSON; exit 1 on drift (timings are never gated)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(quick=args.quick)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(render(report))
+    print(f"\nreport written to {args.output}")
+
+    aggregate = report["aggregate"]
+    if aggregate["problems"]:
+        print("FAIL:", file=sys.stderr)
+        for problem in aggregate["problems"]:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        problems = check_shape(report, baseline)
+        if problems:
+            print(f"\nresult-shape drift vs {args.check}:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"result shape matches {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

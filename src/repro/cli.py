@@ -24,6 +24,15 @@ every committed insert back into it:
     python -m repro save --csv publications.csv --data-dir snap/
     python -m repro load --data-dir snap/ "SELECT DEDUP * FROM publications"
     python -m repro serve --data-dir snap/ --port 7531
+
+``repro explain`` prints the chosen plan with the optimizer's cost
+annotations instead of result rows (``--analyze`` also executes and
+appends estimated-vs-actual per-stage figures; see
+:mod:`repro.optimizer`):
+
+    python -m repro explain --csv publications.csv --csv venues.csv \\
+        "SELECT DEDUP P.title FROM publications P \\
+         JOIN venues V ON P.venue = V.title WHERE V.rank = 'A'"
 """
 
 from __future__ import annotations
@@ -90,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain",
         action="store_true",
         help="print the chosen plan instead of executing",
+    )
+    parser.add_argument(
+        "--no-optimizer",
+        action="store_true",
+        help="disable cost-based plan selection and the plan cache; "
+        "always run the seed heuristic plan",
     )
     parser.add_argument(
         "--stats",
@@ -176,6 +191,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "(default: 8; only meaningful with --data-dir)",
     )
     parser.add_argument(
+        "--no-optimizer",
+        action="store_true",
+        help="disable cost-based plan selection and the plan cache; "
+        "always run the seed heuristic plan",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the structured per-request JSON log lines on stderr",
@@ -217,7 +238,11 @@ def run_serve(argv: Sequence[str], output=None) -> int:
             print(f"error: unreadable snapshot in {args.data_dir}: {error}", file=sys.stderr)
             return 2
         if manifest is not None:
-            engine = QueryEREngine.load(args.data_dir, execution=args.workers)
+            engine = QueryEREngine.load(
+                args.data_dir,
+                execution=args.workers,
+                optimizer=not args.no_optimizer,
+            )
             for name in sorted(engine.table_epochs()):
                 table = engine.catalog.get(name)
                 print(
@@ -226,7 +251,11 @@ def run_serve(argv: Sequence[str], output=None) -> int:
                     file=output,
                 )
     if engine is None:
-        engine = QueryEREngine(match_threshold=args.threshold, execution=args.workers)
+        engine = QueryEREngine(
+            match_threshold=args.threshold,
+            execution=args.workers,
+            optimizer=not args.no_optimizer,
+        )
     for spec in args.csv:
         name, _, path = spec.rpartition("=")
         if (name or None) and name.lower() in engine.catalog:
@@ -338,6 +367,82 @@ def build_load_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="print the optimizer's chosen plan with cost annotations "
+        "(EXPLAIN); --analyze also executes and appends actuals",
+    )
+    parser.add_argument("query", help="SQL query to plan (SELECT or SELECT DEDUP)")
+    parser.add_argument(
+        "--csv",
+        action="append",
+        default=[],
+        metavar="[NAME=]PATH",
+        help="CSV file to register (repeatable); NAME defaults to the file stem",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="also execute the query and append estimated-vs-actual rows, "
+        "comparisons and per-stage timings (EXPLAIN ANALYZE)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=[m.value for m in ExecutionMode],
+        default=ExecutionMode.AES.value,
+        help="execution strategy for DEDUP queries (default: aes)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.75,
+        help="schema-agnostic match threshold in [0, 1] (default: 0.75)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="parallel Comparison-Execution workers (default: auto-detect)",
+    )
+    parser.add_argument(
+        "--no-optimizer",
+        action="store_true",
+        help="disable cost-based plan selection; show the heuristic plan",
+    )
+    return parser
+
+
+def run_explain(argv: Sequence[str], output=None) -> int:
+    """``repro explain``: print EXPLAIN [ANALYZE] output for one query."""
+    output = output if output is not None else sys.stdout
+    args = build_explain_parser().parse_args(argv)
+    if not args.csv:
+        print("error: at least one --csv table is required", file=sys.stderr)
+        return 2
+    engine = QueryEREngine(
+        match_threshold=args.threshold,
+        execution=args.workers,
+        optimizer=not args.no_optimizer,
+    )
+    for spec in args.csv:
+        name, _, path = spec.rpartition("=")
+        table = read_csv(path or spec, name=name or None)
+        engine.register(table)
+    sql = args.query.strip()
+    # Accept queries already carrying the EXPLAIN prefix verbatim.
+    if sql[:7].upper() != "EXPLAIN":
+        sql = ("EXPLAIN ANALYZE " if args.analyze else "EXPLAIN ") + sql
+    try:
+        result = engine.execute(sql, args.mode)
+    except Exception as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(result.plan_description, file=output)
+    return 0
+
+
 def run_save(argv: Sequence[str], output=None) -> int:
     """``repro save``: cold-build from CSVs, write one base snapshot."""
     from repro.persist import snapshot_size_bytes
@@ -408,12 +513,18 @@ def run(argv: Optional[Sequence[str]] = None, output=None) -> int:
         return run_save(argv[1:], output=output)
     if argv and argv[0] == "load":
         return run_load(argv[1:], output=output)
+    if argv and argv[0] == "explain":
+        return run_explain(argv[1:], output=output)
     args = build_parser().parse_args(argv)
     if not args.csv:
         print("error: at least one --csv table is required", file=sys.stderr)
         return 2
 
-    engine = QueryEREngine(match_threshold=args.threshold, execution=args.workers)
+    engine = QueryEREngine(
+        match_threshold=args.threshold,
+        execution=args.workers,
+        optimizer=not args.no_optimizer,
+    )
     for spec in args.csv:
         name, _, path = spec.rpartition("=")
         table = read_csv(path or spec, name=name or None)

@@ -31,8 +31,14 @@ from repro.core.statistics import TableStatistics, join_percentage
 from repro.er.matching import DEFAULT_THRESHOLD, ProfileMatcher
 from repro.er.meta_blocking import MetaBlockingConfig
 from repro.incremental import DmlExecutor, IndexMaintainer, IngestResult, InvalidationPolicy
+from repro.optimizer import PlanCache, QueryOptimizer, plan_key
+from repro.optimizer.explain import (
+    analyze_lines,
+    dedup_plan_lines,
+    relational_plan_lines,
+)
 from repro.parallel import ExecutionConfig, ParallelComparisonExecutor
-from repro.sql import ast
+from repro.sql import ast, normalize_sql
 from repro.sql.executor import QueryResult, execute_plan
 from repro.sql.parser import parse
 from repro.sql.physical import ExecutionContext
@@ -98,6 +104,8 @@ class QueryEREngine:
         sample_stats: bool = True,
         invalidation_policy: Union[InvalidationPolicy, str] = InvalidationPolicy.TARGETED,
         execution: Union[ExecutionConfig, int, None] = None,
+        optimizer: bool = True,
+        plan_cache_size: int = 128,
     ):
         self.catalog = Catalog()
         self.meta_blocking = meta_blocking or MetaBlockingConfig.all()
@@ -129,6 +137,15 @@ class QueryEREngine:
         self._join_percentages: Dict[Tuple[str, str, str, str], Tuple[float, float]] = {}
         self._relational = RelationalPlanner(self.catalog)
         self._executor = DedupQueryExecutor(self)
+        #: Cost-based plan selection (:mod:`repro.optimizer`); when off,
+        #: every query runs the seed heuristic plan unconditionally.
+        self.optimizer_enabled = optimizer
+        self._optimizer = QueryOptimizer(self)
+        self._plan_cache = PlanCache(plan_cache_size)
+        # Bumped whenever any estimate input changes (registration,
+        # adoption, committed inserts); part of every plan-cache key so
+        # a plan priced against dead statistics is unreachable.
+        self._statistics_version = 0
         if isinstance(invalidation_policy, str):
             invalidation_policy = InvalidationPolicy(invalidation_policy)
         self._maintainer = IndexMaintainer(self, policy=invalidation_policy)
@@ -164,6 +181,7 @@ class QueryEREngine:
         self._matchers[key] = matcher
         if self.sample_stats:
             self._statistics[key] = TableStatistics(index, matcher)
+        self._invalidate_plans()
         return index
 
     def unregister(self, name: str) -> bool:
@@ -188,6 +206,7 @@ class QueryEREngine:
         epoch = self._epochs.pop(key, None)
         if epoch is not None:
             self._retired_epochs[key] = max(epoch, self._retired_epochs.get(key, 0))
+        self._invalidate_plans()
         return known
 
     def adopt(
@@ -217,6 +236,7 @@ class QueryEREngine:
         self._epochs[key] = max(int(epoch), self._retired_epochs.pop(key, 0) + 1)
         if statistics is not None:
             self._statistics[key] = statistics
+        self._invalidate_plans()
 
     # -- persistence ------------------------------------------------------
     def save(self, directory) -> Dict[str, Any]:
@@ -311,6 +331,28 @@ class QueryEREngine:
         self._statistics.pop(key, None)
         self._drop_join_percentages(key)
 
+    # -- optimizer state --------------------------------------------------
+    def statistics_version(self) -> int:
+        """Monotonic counter over every estimate-input change.
+
+        Part of the plan-cache key: epochs already make plans for
+        *mutated* tables unreachable, but a lazily *recomputed*
+        statistic (same epoch) could still re-rank candidates — the
+        version covers both.
+        """
+        return self._statistics_version
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The optimized-plan LRU (stats surfaced by serving /metrics)."""
+        return self._plan_cache
+
+    def _invalidate_plans(self) -> None:
+        """Register/unregister/adopt/insert hook: retire every plan."""
+        self._statistics_version += 1
+        self._plan_cache.invalidate()
+        self._optimizer.invalidate()
+
     def note_appended(self, name: str, count: int) -> None:
         """Invalidate estimates after *count* rows were ingested into *name*.
 
@@ -333,6 +375,7 @@ class QueryEREngine:
         if statistics is not None:
             statistics.mark_appended(count)
         self._drop_join_percentages(key)
+        self._invalidate_plans()
 
     def index_of(self, name: str) -> TableIndex:
         """The :class:`TableIndex` of a registered table."""
@@ -423,19 +466,128 @@ class QueryEREngine:
         DML through the incremental ingestion subsystem."""
         mode = ExecutionMode(mode) if isinstance(mode, str) else mode
         query = parse(sql)
+        if isinstance(query, ast.ExplainStatement):
+            return self._explain_statement(query, mode)
         if isinstance(query, ast.InsertStatement):
             return self._dml.execute(query)
         if not query.dedup:
-            logical = self._relational.logical_plan(query)
+            logical = self._relational_logical(query).plan
             physical = self._relational.physical_plan(logical)
             return execute_plan(physical)
 
         context = ExecutionContext()
         start = time.perf_counter()
-        columns, rows, plan = self._executor.execute(query, mode, context)
+        plan = self._dedup_plan(query, mode)
+        columns, rows, plan = self._executor.execute(query, mode, context, plan=plan)
         elapsed = time.perf_counter() - start
         result = QueryResult(columns, rows, elapsed, context, plan.pretty())
         return result
+
+    # -- plan selection ---------------------------------------------------
+    def _dedup_plan(self, query: ast.SelectQuery, mode: ExecutionMode):
+        """The (possibly cached) optimizer plan, or None when disabled."""
+        if not self.optimizer_enabled:
+            return None
+        key = plan_key(
+            normalize_sql(str(query)),
+            mode.value,
+            self.table_epochs(),
+            self._statistics_version,
+        )
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._optimizer.optimize_dedup(query, mode)
+            self._plan_cache.put(key, plan)
+        return plan
+
+    def _relational_logical(self, query: ast.SelectQuery):
+        """Optimized (or heuristic) relational plan with annotations."""
+        from repro.optimizer.optimizer import RelationalChoice
+
+        if not self.optimizer_enabled:
+            return RelationalChoice(self._relational.logical_plan(query))
+        key = plan_key(
+            normalize_sql(str(query)),
+            "relational",
+            self.table_epochs(),
+            self._statistics_version,
+        )
+        choice = self._plan_cache.get(key)
+        if choice is None:
+            choice = self._optimizer.optimize_relational(query)
+            self._plan_cache.put(key, choice)
+        return choice
+
+    def _explain_statement(
+        self, statement: ast.ExplainStatement, mode: ExecutionMode
+    ) -> QueryResult:
+        """Answer ``EXPLAIN [ANALYZE]`` as a one-column plan rendering."""
+        inner = statement.statement
+        start = time.perf_counter()
+        if isinstance(inner, ast.InsertStatement):
+            if statement.analyze:
+                raise ValueError(
+                    "EXPLAIN ANALYZE is not supported for INSERT INTO "
+                    "(it would execute the mutation)"
+                )
+            lines = DmlExecutor.describe(inner).splitlines()
+        elif not inner.dedup:
+            choice = self._relational_logical(inner)
+            lines = relational_plan_lines(choice)
+            if statement.analyze:
+                context = ExecutionContext()
+                result = execute_plan(self._relational.physical_plan(choice.plan), context)
+                lines = analyze_lines(
+                    lines,
+                    estimated_comparisons=None,
+                    estimated_rows=None,
+                    actual_rows=len(result.rows),
+                    actual_comparisons=result.comparisons,
+                    elapsed_s=result.elapsed,
+                    stage_times=result.stage_times,
+                )
+        else:
+            plan = self._dedup_plan(inner, mode) or DedupQueryPlanner(self).plan(inner, mode)
+            lines = dedup_plan_lines(self, inner, mode, plan)
+            if statement.analyze:
+                context = ExecutionContext()
+                run_start = time.perf_counter()
+                columns, rows, plan = self._executor.execute(inner, mode, context, plan=plan)
+                run_elapsed = time.perf_counter() - run_start
+                # Whole-plan estimate: every binding's comparisons under
+                # this order/placement, not just the first join's two.
+                estimated: Optional[float]
+                try:
+                    infos, steps, _residual = DedupQueryPlanner(self).analyze(inner)
+                    model = self._optimizer.cost_model
+                    order_steps = plan.join_steps or steps
+                    if order_steps and mode is ExecutionMode.AES:
+                        order = model.dedup_order_cost(
+                            infos,
+                            order_steps,
+                            plan.clean_first or order_steps[0].left_binding,
+                        )
+                        estimated = float(sum(order.comparisons.values()))
+                    else:
+                        estimated = float(
+                            sum(model.binding_estimate(i).comparisons for i in infos)
+                        )
+                except Exception:
+                    estimated = (
+                        float(sum(plan.estimates.values())) if plan.estimates else None
+                    )
+                lines = analyze_lines(
+                    lines,
+                    estimated_comparisons=estimated,
+                    estimated_rows=None,
+                    actual_rows=len(rows),
+                    actual_comparisons=context.comparisons,
+                    elapsed_s=run_elapsed,
+                    stage_times=dict(context.stage_times),
+                )
+        elapsed = time.perf_counter() - start
+        text = "\n".join(lines)
+        return QueryResult(["plan"], [(line,) for line in lines], elapsed, None, text)
 
     def explain(
         self,
@@ -445,12 +597,14 @@ class QueryEREngine:
         """The plan that :meth:`execute` would run, as an indented tree."""
         mode = ExecutionMode(mode) if isinstance(mode, str) else mode
         query = parse(sql)
+        if isinstance(query, ast.ExplainStatement):
+            query = query.statement
         if isinstance(query, ast.InsertStatement):
             return DmlExecutor.describe(query)
         if not query.dedup:
-            return self._relational.logical_plan(query).pretty()
-        planner = DedupQueryPlanner(self)
-        return planner.plan(query, mode).pretty()
+            return "\n".join(relational_plan_lines(self._relational_logical(query)))
+        plan = self._dedup_plan(query, mode) or DedupQueryPlanner(self).plan(query, mode)
+        return "\n".join(dedup_plan_lines(self, query, mode, plan))
 
     def plan_for(
         self,

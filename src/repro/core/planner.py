@@ -98,6 +98,15 @@ class DedupQueryPlan:
     clean_first: Optional[str] = None
     join_steps: List[JoinStep] = field(default_factory=list)
     description: str = ""
+    #: Provenance: "heuristic" (the seed planner) or "optimized" (the
+    #: cost-based enumerator in :mod:`repro.optimizer` picked it).
+    source: str = "heuristic"
+    #: Estimated cost of this plan / of the heuristic baseline, when the
+    #: optimizer priced them (None outside the optimizer path).
+    cost: Optional[float] = None
+    heuristic_cost: Optional[float] = None
+    #: Why the optimizer kept the heuristic plan (identity gate, mode…).
+    reason: str = ""
 
     def pretty(self) -> str:
         return self.description
@@ -147,6 +156,18 @@ class DedupQueryPlanner:
             infos.append(info)
 
         steps = [self._join_step(j, infos) for j in query.joins]
+        # A join condition may only reference bindings joined so far:
+        # _ref_owner resolves against *all* bindings, so without this
+        # check a condition naming a later FROM entry would plan fine
+        # and then blow up (or mis-join) deep inside the executor.
+        bound = {order[0]}
+        for step, join in zip(steps, query.joins):
+            if step.left_binding not in bound:
+                raise DedupPlanningError(
+                    f"join condition {join.condition} references "
+                    f"{step.left_binding!r} before it is joined"
+                )
+            bound.add(step.right_binding)
         return infos, steps, conjoin(residual)
 
     def _owners(
@@ -340,9 +361,17 @@ class DedupQueryExecutor:
         query: ast.SelectQuery,
         mode: ExecutionMode,
         context: ExecutionContext,
+        plan: Optional[DedupQueryPlan] = None,
     ) -> Tuple[List[str], List[tuple], DedupQueryPlan]:
+        """Run *query*; an optimizer-provided *plan* overrides the seed
+        heuristic's join order and DEDUP placement (its steps are the
+        same edges :meth:`DedupQueryPlanner.analyze` derives, possibly
+        permuted/flipped — see :mod:`repro.optimizer.rules`)."""
         infos, steps, residual = self.planner.analyze(query)
-        plan = self.planner.plan(query, mode)
+        if plan is None:
+            plan = self.planner.plan(query, mode)
+        elif plan.join_steps:
+            steps = plan.join_steps
 
         if not steps:
             state = self._execute_single(infos[0], mode, context)

@@ -1,0 +1,230 @@
+"""The cost-based plan driver: enumerate, price, pick — or fall back.
+
+:class:`QueryOptimizer` sits between the engine facade and the two
+seed planners.  For every query it produces *a* plan; the seed
+heuristic plan is always among the priced candidates, is returned
+whenever no candidate is strictly cheaper, and is the unconditional
+fallback whenever enumeration is illegal (identity gate, non-AES mode,
+unpriceable shapes) or estimation throws.  That makes the optimizer a
+pure plan *selector*: it can change how an answer is computed, never
+what the answer is — the property test in
+``tests/property/test_optimizer_equivalence.py`` holds it to that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.planner import (
+    DedupQueryPlan,
+    DedupQueryPlanner,
+    ExecutionMode,
+    JoinStep,
+)
+from repro.optimizer.cost import CostModel, DEFAULT_SELECTIVITY
+from repro.optimizer.rules import (
+    enumerate_dedup_orders,
+    enumerate_relational_orders,
+    dedup_placements,
+    expand_stars,
+    identity_safe,
+)
+from repro.sql import ast
+from repro.sql.expressions import conjuncts, referenced_bindings
+from repro.sql.logical import LogicalPlan
+from repro.sql.planner import RelationalPlanner
+
+
+@dataclass
+class RelationalChoice:
+    """An optimized relational plan plus its provenance annotations."""
+
+    plan: LogicalPlan
+    source: str = "heuristic"
+    cost: Optional[float] = None
+    heuristic_cost: Optional[float] = None
+    reason: str = ""
+    order: Tuple[str, ...] = ()
+    cardinalities: Dict[str, float] = field(default_factory=dict)
+
+
+class QueryOptimizer:
+    """Statistics-driven plan selection over one engine's tables."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.cost_model = CostModel(engine)
+
+    def invalidate(self) -> None:
+        """Forget memoized estimates after any table mutation."""
+        self.cost_model.invalidate()
+
+    # -- DEDUP queries ----------------------------------------------------
+    def optimize_dedup(self, query: ast.SelectQuery, mode: ExecutionMode) -> DedupQueryPlan:
+        """Pick the min-cost AES order + placement, or keep the heuristic.
+
+        Frontier-changing rewrites (reordering the DEDUP joins, moving
+        the clean-first placement) are applied only when
+        :func:`~repro.optimizer.rules.identity_safe` holds for the
+        engine's meta-blocking configuration; otherwise BP/BF/EP
+        thresholds depend on the frontier and the rewrite could change
+        results, so the heuristic plan is returned with the gate noted.
+        """
+        planner = DedupQueryPlanner(self.engine)
+        heuristic = planner.plan(query, mode)
+        if mode is not ExecutionMode.AES:
+            heuristic.reason = f"{mode.value} plans are fixed by definition"
+            return heuristic
+        if not heuristic.join_steps:
+            heuristic.reason = "single-table query: nothing to reorder"
+            return heuristic
+        if not identity_safe(self.engine.meta_blocking):
+            heuristic.reason = (
+                "meta-blocking enabled: BP/BF/EP thresholds depend on the "
+                "dedup frontier, so reordering/placement could change results"
+            )
+            return heuristic
+        try:
+            return self._optimize_aes(query, mode, planner, heuristic)
+        except Exception as error:  # estimation must never fail a query
+            heuristic.reason = f"cost estimation failed ({error!r}); kept heuristic"
+            return heuristic
+
+    def _optimize_aes(
+        self,
+        query: ast.SelectQuery,
+        mode: ExecutionMode,
+        planner: DedupQueryPlanner,
+        heuristic: DedupQueryPlan,
+    ) -> DedupQueryPlan:
+        infos, steps, _residual = planner.analyze(query)
+        baseline = self.cost_model.dedup_order_cost(
+            infos, steps, (heuristic.clean_first or steps[0].left_binding)
+        )
+        heuristic.cost = heuristic.heuristic_cost = baseline.total
+
+        best = baseline
+        best_is_baseline = True
+        for order in enumerate_dedup_orders(steps):
+            for placement in dedup_placements(order):
+                candidate = self.cost_model.dedup_order_cost(infos, order, placement)
+                if candidate.total < best.total:
+                    best = candidate
+                    best_is_baseline = False
+        if best_is_baseline:
+            heuristic.reason = "heuristic order/placement already minimal"
+            return heuristic
+
+        by_binding = {i.binding.lower(): i for i in infos}
+        first = best.steps[0]
+        plan = DedupQueryPlan(
+            mode=mode,
+            bindings=list(heuristic.bindings),
+            estimates={
+                by_binding[first.left_binding].binding: int(round(best.comparisons[first.left_binding])),
+                by_binding[first.right_binding].binding: int(round(best.comparisons[first.right_binding])),
+            },
+            clean_first=by_binding[best.clean_first].binding,
+            join_steps=list(best.steps),
+            source="optimized",
+            cost=best.total,
+            heuristic_cost=baseline.total,
+        )
+        plan.description = planner._describe(query, plan, infos)
+        return plan
+
+    # -- relational queries ----------------------------------------------
+    def optimize_relational(self, query: ast.SelectQuery) -> RelationalChoice:
+        """Cost-based join reordering for plain relational queries.
+
+        Unconditional (no identity gate): relational reordering is pure
+        algebra over INNER equi-joins — the row *set* is invariant, and
+        any required order is re-imposed by ORDER BY above the joins.
+        """
+        planner = RelationalPlanner(self.engine.catalog)
+        heuristic = RelationalChoice(planner.logical_plan(query))
+        if not query.joins:
+            heuristic.reason = "single-table query: nothing to reorder"
+            return heuristic
+        try:
+            return self._optimize_relational(query, planner, heuristic)
+        except Exception as error:
+            heuristic.reason = f"cost estimation failed ({error!r}); kept heuristic"
+            return heuristic
+
+    def _optimize_relational(
+        self,
+        query: ast.SelectQuery,
+        planner: RelationalPlanner,
+        heuristic: RelationalChoice,
+    ) -> RelationalChoice:
+        expanded = expand_stars(
+            query, lambda name: [c.name for c in self.engine.catalog.get(name).schema]
+        )
+        candidates = enumerate_relational_orders(expanded)
+        if len(candidates) <= 1:
+            heuristic.reason = "joins are not reorderable (outer/non-equi/cross)"
+            return heuristic
+
+        cards = self._relational_cardinalities(expanded)
+        original = tuple(b.lower() for b in expanded.bindings())
+        best = None
+        baseline_cost = None
+        for candidate in candidates:
+            cost = self.cost_model.relational_order_cost(cards, candidate)
+            if candidate.bindings == original:
+                baseline_cost = cost
+            if best is None or cost < best[0]:
+                best = (cost, candidate)
+        assert best is not None
+        heuristic.cost = heuristic.heuristic_cost = baseline_cost
+        heuristic.order = original
+        heuristic.cardinalities = cards
+        best_cost, best_candidate = best
+        if baseline_cost is None or best_candidate.bindings == original or best_cost >= baseline_cost:
+            heuristic.reason = "heuristic join order already minimal"
+            return heuristic
+        return RelationalChoice(
+            plan=planner.logical_plan(best_candidate.query),
+            source="optimized",
+            cost=best_cost,
+            heuristic_cost=baseline_cost,
+            order=best_candidate.bindings,
+            cardinalities=cards,
+        )
+
+    def _relational_cardinalities(self, query: ast.SelectQuery) -> Dict[str, float]:
+        """Per-binding filtered cardinality estimates.
+
+        Literal-carrying predicates are bounded through the TBI
+        (:class:`~repro.core.statistics.ComparisonEstimator`); bindings
+        with an unbounded filter get :data:`DEFAULT_SELECTIVITY`.
+        """
+        from repro.core.statistics import ComparisonEstimator
+        from repro.sql.expressions import conjoin
+
+        refs = (query.table, *(j.table for j in query.joins))
+        per_binding: Dict[str, List[ast.Expr]] = {r.binding.lower(): [] for r in refs}
+        for conjunct in conjuncts(query.where):
+            owners = {q for q in referenced_bindings(conjunct) if q}
+            if len(owners) == 1:
+                owner = next(iter(owners))
+                if owner in per_binding:
+                    per_binding[owner].append(conjunct)
+
+        cards: Dict[str, float] = {}
+        for ref in refs:
+            binding = ref.binding.lower()
+            index = self.engine.index_of(ref.name)
+            rows = len(index.table)
+            condition = conjoin(per_binding[binding])
+            if condition is None:
+                cards[binding] = float(rows)
+                continue
+            selected = ComparisonEstimator(index).selected_entities(condition)
+            if len(selected) < rows:
+                cards[binding] = float(max(1, len(selected)))
+            else:
+                cards[binding] = max(1.0, rows * DEFAULT_SELECTIVITY)
+        return cards

@@ -1,0 +1,86 @@
+"""Optimized-plan LRU: serving reuses plans across requests.
+
+Sibling of the serving layer's :class:`~repro.serving.cache.ResultCache`
+one level down: where that cache memoizes a query's *answer*, this one
+memoizes the optimizer's *decision* (join order, DEDUP placement) so a
+hot query skips enumeration and costing entirely.  The key is
+
+    (normalized SQL, execution mode, frozenset of (table, epoch) pairs,
+     statistics version)
+
+The epoch map makes entries for mutated tables unreachable by
+construction (same contract as the result cache), and the statistics
+version guards the one thing epochs do not: a plan priced against a
+statistics state that was since recomputed could be reused even though
+re-optimizing might now pick differently.  The engine bumps the version
+on register/unregister/adopt and on every committed ``INSERT INTO``
+batch, and additionally calls :meth:`PlanCache.invalidate` so stale
+entries free their memory immediately instead of aging out of the LRU.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, FrozenSet, Hashable, Optional, Tuple
+
+
+def plan_key(
+    normalized_sql: str,
+    mode: str,
+    epochs: Dict[str, int],
+    statistics_version: int,
+) -> Tuple[str, str, FrozenSet[Tuple[str, int]], int]:
+    """The cache key of an optimized plan at one engine snapshot."""
+    return (normalized_sql, mode, frozenset(epochs.items()), statistics_version)
+
+
+class PlanCache:
+    """Lock-guarded LRU over optimized plan objects.
+
+    ``capacity <= 0`` disables caching (every ``get`` misses, ``put`` is
+    a no-op), which is how ``--no-optimizer`` style configurations keep
+    a single code path.
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._data: Dict[Hashable, Any] = {}
+        self.stats = {"hits": 0, "misses": 0, "evictions": 0, "invalidations": 0}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            if key not in self._data:
+                self.stats["misses"] += 1
+                return None
+            entry = self._data.pop(key)
+            self._data[key] = entry  # re-insert: most recently used
+            self.stats["hits"] += 1
+            return entry
+
+    def put(self, key: Hashable, plan: Any) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+            elif len(self._data) >= self.capacity:
+                del self._data[next(iter(self._data))]
+                self.stats["evictions"] += 1
+            self._data[key] = plan
+
+    def invalidate(self) -> int:
+        """Drop every entry (engine snapshot changed); returns the count."""
+        with self._lock:
+            dropped = len(self._data)
+            self._data.clear()
+            self.stats["invalidations"] += dropped
+            return dropped
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {"size": len(self._data), **self.stats}

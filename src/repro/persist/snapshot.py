@@ -360,6 +360,8 @@ def save_engine(engine: "QueryEREngine", directory: Union[str, Path]) -> Dict[st
             "transitive": engine.transitive,
             "sample_stats": engine.sample_stats,
             "invalidation_policy": engine._maintainer.policy.value,
+            "optimizer": engine.optimizer_enabled,
+            "plan_cache_size": engine.plan_cache.capacity,
         },
         "epochs": engine.table_epochs(),
         "join_percentages": [
@@ -452,6 +454,10 @@ def load_engine(
         sample_stats=config["sample_stats"],
         invalidation_policy=config["invalidation_policy"],
         execution=execution,
+        # Pre-optimizer manifests lack these keys; default to the
+        # engine's own defaults rather than failing the warm start.
+        optimizer=config.get("optimizer", True),
+        plan_cache_size=config.get("plan_cache_size", 128),
     )
     for key, entry in manifest["tables"].items():
         table, vocabulary, indptr, tokens = _load_table_entry(directory, entry)

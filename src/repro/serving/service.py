@@ -303,6 +303,12 @@ class EngineService:
     def metrics_snapshot(self) -> Dict[str, Any]:
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = self.cache.snapshot()
+        # The engine's optimized-plan LRU (hits/misses/evictions/
+        # invalidations) — plans are reused across requests, so their
+        # churn is a serving-level signal like the result cache's.
+        plan_cache = getattr(self.engine, "plan_cache", None)
+        if plan_cache is not None:
+            snapshot["plan_cache"] = plan_cache.snapshot()
         snapshot["coalescer"] = dict(self.flights.stats)
         snapshot["inflight"] = self._inflight
         snapshot["max_inflight"] = self.max_inflight

@@ -271,5 +271,26 @@ class InsertStatement:
         return " ".join(parts)
 
 
+@dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    Wraps a query or DML statement.  Plain ``EXPLAIN`` renders the plan
+    the optimizer would run (with estimated rows/cost) without executing
+    it; ``EXPLAIN ANALYZE`` also executes the statement and annotates
+    the plan with the actual per-stage timings and row counts.
+    ``dedup`` is always False so engine dispatch can treat statements
+    uniformly.
+    """
+
+    statement: Union[SelectQuery, InsertStatement]
+    analyze: bool = False
+    dedup: bool = field(default=False, init=False)
+
+    def __str__(self) -> str:
+        prefix = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{prefix} {self.statement}"
+
+
 #: Every statement form :func:`repro.sql.parser.parse` can return.
-Statement = Union[SelectQuery, InsertStatement]
+Statement = Union[SelectQuery, InsertStatement, ExplainStatement]

@@ -12,11 +12,32 @@ from typing import List
 from repro.sql.tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenType
 
 
+def source_excerpt(text: str, position: int, width: int = 36) -> str:
+    """A two-line pointer into *text*: the offending region and a caret.
+
+    Hand-typed SQL (``repro explain``, the HTTP /query endpoint) deserves
+    better than a bare offset; both :class:`LexError` and
+    :class:`~repro.sql.parser.ParseError` append this excerpt so the
+    error shows *where* in the statement it tripped.
+    """
+    position = max(0, min(position, len(text)))
+    start = max(0, position - width)
+    end = min(len(text), position + width)
+    prefix = "..." if start > 0 else ""
+    suffix = "..." if end < len(text) else ""
+    snippet = text[start:end].replace("\n", " ").replace("\t", " ")
+    caret_offset = len(prefix) + (position - start)
+    return f"  {prefix}{snippet}{suffix}\n  {' ' * caret_offset}^"
+
+
 class LexError(ValueError):
     """Raised on malformed input with the offending position."""
 
-    def __init__(self, message: str, position: int):
-        super().__init__(f"{message} (at position {position})")
+    def __init__(self, message: str, position: int, source: str = ""):
+        detail = f"{message} (at position {position})"
+        if source:
+            detail += "\n" + source_excerpt(source, position)
+        super().__init__(detail)
         self.position = position
 
 
@@ -69,7 +90,7 @@ class Lexer:
         if ch in PUNCTUATION:
             self._pos += 1
             return Token(TokenType.PUNCTUATION, ch, start)
-        raise LexError(f"unexpected character {ch!r}", start)
+        raise LexError(f"unexpected character {ch!r}", start, text)
 
     def _string_literal(self, quote: str) -> Token:
         text, start = self._text, self._pos
@@ -86,7 +107,7 @@ class Lexer:
                 return Token(TokenType.STRING, "".join(pieces), start)
             pieces.append(ch)
             self._pos += 1
-        raise LexError("unterminated string literal", start)
+        raise LexError("unterminated string literal", start, text)
 
     def _number(self) -> Token:
         text, start = self._text, self._pos

@@ -21,6 +21,13 @@ queries the engine could answer differently:
 An unterminated literal makes the remainder of the text a literal
 (preserved verbatim); the parser rejects such queries later with a
 proper error, and two equal malformed texts still normalize equally.
+
+Because no token is ever dropped, an ``EXPLAIN [ANALYZE]`` prefix
+survives normalization: ``EXPLAIN SELECT ...`` and ``SELECT ...`` map
+to *different* canonical strings, so the serving result cache can
+never hand back a plan dump under the underlying query's key (or vice
+versa).  The regression tests in ``tests/unit/test_sql_normalize.py``
+pin this down.
 """
 
 from __future__ import annotations

@@ -2,7 +2,7 @@
 
 Grammar (informal):
 
-    statement  := (query | insert) [';']
+    statement  := [EXPLAIN [ANALYZE]] (query | insert) [';']
     query      := SELECT [DEDUP] [DISTINCT] select_list FROM table_ref
                   (join_clause)* [WHERE expr] [ORDER BY order_list]
                   [LIMIT number]
@@ -20,26 +20,41 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.sql import ast
-from repro.sql.lexer import Lexer
+from repro.sql.lexer import Lexer, source_excerpt
 from repro.sql.tokens import Token, TokenType
 
 
 class ParseError(ValueError):
-    """Raised on syntactically invalid queries."""
+    """Raised on syntactically invalid queries.
 
-    def __init__(self, message: str, token: Optional[Token] = None):
+    Carries the offending token and, when the parser supplies the source
+    text, a caret excerpt pinpointing the position in the statement.
+    """
+
+    def __init__(self, message: str, token: Optional[Token] = None, source: str = ""):
         if token is not None:
-            message = f"{message} (near {token.value!r} at position {token.position})"
+            if token.type is TokenType.EOF:
+                message = f"{message} (at end of input, position {token.position})"
+            else:
+                message = f"{message} (near {token.value!r} at position {token.position})"
+            if source:
+                message += "\n" + source_excerpt(source, token.position)
         super().__init__(message)
         self.token = token
 
 
 class Parser:
-    """Parses one statement: ``SELECT [DEDUP]`` or ``INSERT INTO``."""
+    """Parses one statement: ``SELECT [DEDUP]``, ``INSERT INTO`` or
+    ``EXPLAIN [ANALYZE]`` wrapping either."""
 
     def __init__(self, text: str):
+        self._text = text
         self._tokens = Lexer(text).tokenize()
         self._pos = 0
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        """Build a :class:`ParseError` carrying the source excerpt."""
+        return ParseError(message, token, source=self._text)
 
     # -- token helpers ---------------------------------------------------
     def _peek(self, offset: int = 0) -> Token:
@@ -60,7 +75,7 @@ class Parser:
     def _expect_keyword(self, name: str) -> Token:
         token = self._advance()
         if not (token.type is TokenType.KEYWORD and token.value == name):
-            raise ParseError(f"expected {name}", token)
+            raise self._error(f"expected {name}", token)
         return token
 
     def _accept_punct(self, symbol: str) -> Optional[Token]:
@@ -72,26 +87,32 @@ class Parser:
     def _expect_punct(self, symbol: str) -> Token:
         token = self._advance()
         if not (token.type is TokenType.PUNCTUATION and token.value == symbol):
-            raise ParseError(f"expected {symbol!r}", token)
+            raise self._error(f"expected {symbol!r}", token)
         return token
 
     def _expect_identifier(self) -> Token:
         token = self._advance()
         if token.type is not TokenType.IDENTIFIER:
-            raise ParseError("expected identifier", token)
+            raise self._error("expected identifier", token)
         return token
 
     # -- entry point -------------------------------------------------------
     def parse(self) -> ast.Statement:
         """Parse the full statement, requiring EOF afterwards."""
+        explain = self._accept_keyword("EXPLAIN")
+        analyze = explain is not None and self._accept_keyword("ANALYZE") is not None
+        if self._peek().is_keyword("EXPLAIN"):
+            raise self._error("EXPLAIN cannot be nested", self._peek())
         if self._peek().is_keyword("INSERT"):
             statement: ast.Statement = self._insert()
         else:
             statement = self._select()
+        if explain is not None:
+            statement = ast.ExplainStatement(statement, analyze=analyze)
         self._accept_punct(";")
         trailing = self._peek()
         if trailing.type is not TokenType.EOF:
-            raise ParseError("unexpected trailing input", trailing)
+            raise self._error("unexpected trailing input", trailing)
         return statement
 
     # -- DML ---------------------------------------------------------------
@@ -119,7 +140,7 @@ class Parser:
             values.append(self._literal_value())
         self._expect_punct(")")
         if arity is not None and len(values) != arity:
-            raise ParseError(
+            raise self._error(
                 f"VALUES row has {len(values)} values, expected {arity}", opening
             )
         return tuple(values)
@@ -130,7 +151,7 @@ class Parser:
             self._advance()
             number = self._advance()
             if number.type is not TokenType.NUMBER:
-                raise ParseError("expected a number after '-'", number)
+                raise self._error("expected a number after '-'", number)
             return ast.Literal(-number.value)
         token = self._advance()
         if token.type in (TokenType.STRING, TokenType.NUMBER):
@@ -141,7 +162,7 @@ class Parser:
             return ast.Literal(True)
         if token.is_keyword("FALSE"):
             return ast.Literal(False)
-        raise ParseError("VALUES accepts literals only", token)
+        raise self._error("VALUES accepts literals only", token)
 
     def _select(self) -> ast.SelectQuery:
         self._expect_keyword("SELECT")
@@ -171,7 +192,7 @@ class Parser:
         if self._accept_keyword("LIMIT"):
             token = self._advance()
             if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
-                raise ParseError("LIMIT requires an integer", token)
+                raise self._error("LIMIT requires an integer", token)
             limit = token.value
         return ast.SelectQuery(
             items=tuple(items),
@@ -306,7 +327,7 @@ class Parser:
             self._advance()
             pattern = self._advance()
             if pattern.type is not TokenType.STRING:
-                raise ParseError("LIKE requires a string pattern", pattern)
+                raise self._error("LIKE requires a string pattern", pattern)
             return ast.Like(left, pattern.value, negated)
         if token.is_keyword("BETWEEN"):
             self._advance()
@@ -335,7 +356,7 @@ class Parser:
             elif token.is_keyword("FALSE"):
                 values.append(ast.Literal(False))
             else:
-                raise ParseError("IN list accepts literals only", token)
+                raise self._error("IN list accepts literals only", token)
             if not self._accept_punct(","):
                 break
         self._expect_punct(")")
@@ -405,7 +426,7 @@ class Parser:
                 column = self._expect_identifier().value
                 return ast.ColumnRef(column, qualifier=token.value)
             return ast.ColumnRef(token.value)
-        raise ParseError("expected expression", token)
+        raise self._error("expected expression", token)
 
 
 def parse(text: str) -> ast.Statement:

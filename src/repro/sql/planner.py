@@ -96,8 +96,26 @@ class RelationalPlanner:
                 scans[binding] = LogicalFilter(scans[binding], condition)
 
         plan = scans[order[0]]
+        bound = {order[0]}
         for join in query.joins:
             binding = join.table.binding.lower()
+            # A join condition may only reference bindings joined so far;
+            # without this check a condition naming a later FROM entry
+            # compiles into a SchemaResolutionError (or a silently wrong
+            # nested-loop join) deep inside physical lowering.
+            for qualifier in referenced_bindings(join.condition):
+                if qualifier == "":
+                    continue
+                if qualifier not in scans:
+                    raise PlanningError(
+                        f"unknown table alias {qualifier!r} in JOIN condition"
+                    )
+                if qualifier not in bound | {binding}:
+                    raise PlanningError(
+                        f"join condition {join.condition} references "
+                        f"{qualifier!r} before it is joined"
+                    )
+            bound.add(binding)
             plan = LogicalJoin(plan, scans[binding], join.condition, join.join_type)
 
         residual = conjoin(residuals)

@@ -20,11 +20,14 @@ class TokenType(enum.Enum):
 
 
 #: Reserved words (case-insensitive).  ``DEDUP`` is QueryER's extension;
-#: ``INSERT``/``INTO``/``VALUES`` belong to the incremental-ingestion DML.
+#: ``INSERT``/``INTO``/``VALUES`` belong to the incremental-ingestion DML;
+#: ``EXPLAIN``/``ANALYZE`` front the optimizer's plan-inspection statement.
 KEYWORDS = frozenset(
     {
         "SELECT",
         "DEDUP",
+        "EXPLAIN",
+        "ANALYZE",
         "INSERT",
         "INTO",
         "VALUES",

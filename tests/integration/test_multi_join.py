@@ -98,3 +98,81 @@ class TestDedupErrorHandling:
         )
         assert len(result) == 0
         assert result.comparisons == 0
+
+
+class TestJoinEdgeCases:
+    """Satellite: duplicate aliases, ambiguity and forward references
+    fail at planning time — on both the DEDUP and relational paths."""
+
+    def test_duplicate_alias_rejected_dedup(self, three_table_engine):
+        with pytest.raises(DedupPlanningError, match="duplicate"):
+            three_table_engine.execute(
+                "SELECT DEDUP T.surname FROM PPL T "
+                "JOIN OAO T ON T.organisation = T.name"
+            )
+
+    def test_duplicate_alias_rejected_relational(self, three_table_engine):
+        from repro.sql.planner import PlanningError
+
+        with pytest.raises(PlanningError, match="duplicate"):
+            three_table_engine.execute(
+                "SELECT T.surname FROM PPL T JOIN OAO T ON T.organisation = T.name"
+            )
+
+    def test_ambiguous_unqualified_projection_three_tables_dedup(self, three_table_engine):
+        from repro.sql.logical import SchemaResolutionError
+
+        # 'organisation' lives in both PPL and OAP.
+        with pytest.raises(SchemaResolutionError, match="ambiguous"):
+            three_table_engine.execute(
+                "SELECT DEDUP organisation FROM PPL "
+                "JOIN OAO ON PPL.organisation = OAO.name "
+                "JOIN OAP ON OAP.organisation = OAO.name"
+            )
+
+    def test_ambiguous_unqualified_where_three_tables_dedup(self, three_table_engine):
+        with pytest.raises(DedupPlanningError, match="ambiguous"):
+            three_table_engine.execute(
+                "SELECT DEDUP PPL.surname FROM PPL "
+                "JOIN OAO ON PPL.organisation = OAO.name "
+                "JOIN OAP ON OAP.organisation = OAO.name "
+                "WHERE organisation = 'acme'"
+            )
+
+    def test_ambiguous_unqualified_column_three_tables_relational(self, three_table_engine):
+        from repro.sql.logical import SchemaResolutionError
+
+        with pytest.raises(SchemaResolutionError, match="ambiguous"):
+            three_table_engine.execute(
+                "SELECT organisation FROM PPL "
+                "JOIN OAO ON PPL.organisation = OAO.name "
+                "JOIN OAP ON OAP.organisation = OAO.name"
+            )
+
+    def test_forward_reference_join_rejected_dedup(self, three_table_engine):
+        # OAO's condition references OAP, which joins later.
+        with pytest.raises(DedupPlanningError):
+            three_table_engine.execute(
+                "SELECT DEDUP PPL.surname FROM PPL "
+                "JOIN OAO ON OAO.name = OAP.organisation "
+                "JOIN OAP ON PPL.organisation = OAO.name"
+            )
+
+    def test_forward_reference_join_rejected_relational(self, three_table_engine):
+        from repro.sql.planner import PlanningError
+
+        with pytest.raises(PlanningError, match="before it is joined"):
+            three_table_engine.execute(
+                "SELECT PPL.surname FROM PPL "
+                "JOIN OAO ON OAO.name = OAP.organisation "
+                "JOIN OAP ON PPL.organisation = OAO.name"
+            )
+
+    def test_unknown_alias_in_join_condition_relational(self, three_table_engine):
+        from repro.sql.planner import PlanningError
+
+        with pytest.raises(PlanningError, match="unknown table alias"):
+            three_table_engine.execute(
+                "SELECT PPL.surname FROM PPL "
+                "JOIN OAO ON ZZ.name = PPL.organisation"
+            )

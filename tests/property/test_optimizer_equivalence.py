@@ -1,0 +1,122 @@
+"""Property: the optimizer is a pure plan selector — answers never change.
+
+The optimizer's contract (``repro.optimizer``) is that cost-based join
+reordering and DEDUP placement only change *how* an answer is computed:
+with the identity gate satisfied (meta-blocking off) every optimized
+plan returns bit-identical rows to the seed heuristic plan, and with
+the gate failing (the default meta-blocking configuration) the
+heuristic plan runs unchanged.  These tests pin that contract across a
+fixed matrix of datasets × query shapes (2-way, 3-way, deliberately
+bad FROM order) × workers ∈ {1, 2}, including across an ``INSERT
+INTO`` boundary — the one place a stale cached plan could go quietly
+wrong.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.engine import QueryEREngine
+from repro.datagen import generate_organizations, generate_people, generate_projects
+from repro.er.meta_blocking import MetaBlockingConfig
+
+WORKER_COUNTS = (1, 2)
+
+QUERIES = {
+    "two-way": (
+        "SELECT DEDUP PPL.surname, OAO.name "
+        "FROM PPL JOIN OAO ON PPL.organisation = OAO.name "
+        "WHERE PPL.state IN ('nt', 'act')"
+    ),
+    "three-way": (
+        "SELECT DEDUP PPL.surname, OAO.name, OAP.title "
+        "FROM OAP "
+        "JOIN OAO ON OAP.organisation = OAO.name "
+        "JOIN PPL ON PPL.organisation = OAO.name "
+        "WHERE OAP.programme = 'fp7'"
+    ),
+    # The big unfiltered table first: the shape the optimizer rewrites.
+    "bad-order": (
+        "SELECT DEDUP PPL.surname, OAO.name, OAP.title "
+        "FROM PPL "
+        "JOIN OAO ON PPL.organisation = OAO.name "
+        "JOIN OAP ON OAP.organisation = OAO.name "
+        "WHERE OAP.programme = 'fp7'"
+    ),
+    "select-star": "SELECT DEDUP * FROM OAO JOIN OAP ON OAP.organisation = OAO.name",
+}
+
+DATASETS = {
+    "small": (40, 80, 50, 71),
+    "joined": (60, 120, 80, 72),
+}
+
+
+def _tables(spec):
+    orgs_n, people_n, projects_n, seed = spec
+    orgs, _ = generate_organizations(orgs_n, seed=seed)
+    names = [row["name"] for row in orgs]
+    people, _ = generate_people(people_n, organisations=names[: orgs_n // 2], seed=seed + 1)
+    projects, _ = generate_projects(projects_n, organisations=names, seed=seed + 2)
+    return people, orgs, projects
+
+
+def _engine(tables, optimizer, workers, meta_blocking=None):
+    engine = QueryEREngine(
+        meta_blocking=meta_blocking or MetaBlockingConfig.none(),
+        optimizer=optimizer,
+        execution=workers,
+    )
+    for table in tables:
+        engine.register(table)
+    return engine
+
+
+def canonical(rows):
+    return json.dumps(sorted([list(map(str, row)) for row in rows]))
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASETS))
+@pytest.mark.parametrize("qid", sorted(QUERIES))
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_optimizer_preserves_answers(dataset, qid, workers):
+    tables = _tables(DATASETS[dataset])
+    sql = QUERIES[qid]
+    heuristic = _engine(tables, optimizer=False, workers=workers).execute(sql)
+    optimized = _engine(tables, optimizer=True, workers=workers).execute(sql)
+    assert canonical(optimized.rows) == canonical(heuristic.rows)
+    assert optimized.columns == heuristic.columns
+
+
+@pytest.mark.parametrize("qid", ["two-way", "bad-order"])
+def test_optimizer_preserves_answers_across_insert(qid):
+    sql = QUERIES[qid]
+    insert = (
+        "INSERT INTO PPL (id, given_name, surname, state, organisation) VALUES "
+        "(88001, 'Nova', 'Quenton', 'nt', 'fresh employer one'), "
+        "(88002, 'Nova', 'Quentin', 'nt', 'fresh employer one')"
+    )
+    engines = [
+        _engine(_tables(DATASETS["small"]), optimizer=flag, workers=1)
+        for flag in (False, True)
+    ]
+    for engine in engines:
+        engine.execute(sql)  # populate caches at the pre-insert epoch
+        engine.execute(insert)
+    answers = [canonical(engine.execute(sql).rows) for engine in engines]
+    assert answers[0] == answers[1]
+
+
+def test_default_meta_blocking_falls_back_to_heuristic_identically():
+    tables = _tables(DATASETS["small"])
+    sql = QUERIES["bad-order"]
+    heuristic = _engine(
+        tables, optimizer=False, workers=1, meta_blocking=MetaBlockingConfig.all()
+    ).execute(sql)
+    gated = _engine(
+        tables, optimizer=True, workers=1, meta_blocking=MetaBlockingConfig.all()
+    ).execute(sql)
+    assert canonical(gated.rows) == canonical(heuristic.rows)
+    assert gated.comparisons == heuristic.comparisons

@@ -172,3 +172,77 @@ class TestParserExpressions:
         q1 = parse(sql)
         q2 = parse(str(q1))
         assert q1 == q2
+
+
+class TestExplainParsing:
+    def test_explain_wraps_a_select(self):
+        stmt = parse("EXPLAIN SELECT a FROM t")
+        assert isinstance(stmt, ast.ExplainStatement)
+        assert not stmt.analyze
+        assert isinstance(stmt.statement, ast.SelectQuery)
+
+    def test_explain_analyze_sets_flag(self):
+        stmt = parse("EXPLAIN ANALYZE SELECT DEDUP a FROM t")
+        assert stmt.analyze
+        assert stmt.statement.dedup
+
+    def test_explain_wraps_an_insert(self):
+        stmt = parse("EXPLAIN INSERT INTO t (a) VALUES (1)")
+        assert isinstance(stmt, ast.ExplainStatement)
+        assert isinstance(stmt.statement, ast.InsertStatement)
+
+    def test_explain_str_roundtrips(self):
+        for sql in ("EXPLAIN SELECT a FROM t", "EXPLAIN ANALYZE SELECT a FROM t"):
+            stmt = parse(sql)
+            assert parse(str(stmt)) == stmt
+
+    def test_nested_explain_rejected(self):
+        with pytest.raises(ParseError, match="nested"):
+            parse("EXPLAIN EXPLAIN SELECT a FROM t")
+
+
+class TestErrorPositions:
+    """Satellite: lexer and parser errors carry position + source excerpt."""
+
+    def test_parse_error_names_the_offending_token(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT a FROM t WHERE JOIN")
+        message = str(excinfo.value)
+        assert "'JOIN'" in message
+        assert "position" in message
+
+    def test_parse_error_shows_a_caret_excerpt(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT a FROM t WHERE x ==")
+        message = str(excinfo.value)
+        assert "\n" in message and "^" in message
+
+    def test_parse_error_at_end_of_input(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT a FROM")
+        assert "end of input" in str(excinfo.value)
+
+    def test_lex_error_reports_position_and_excerpt(self):
+        from repro.sql.lexer import LexError
+
+        with pytest.raises(LexError) as excinfo:
+            tokenize("select a from t where x = @bad")
+        message = str(excinfo.value)
+        assert "position" in message
+        assert "^" in message
+
+    def test_unterminated_string_points_at_the_quote(self):
+        from repro.sql.lexer import LexError
+
+        with pytest.raises(LexError) as excinfo:
+            tokenize("select 'oops")
+        assert "unterminated" in str(excinfo.value)
+        assert "^" in str(excinfo.value)
+
+    def test_long_input_excerpt_is_windowed(self):
+        prefix = "SELECT " + ", ".join(f"col{i}" for i in range(40)) + " FROM t WHERE "
+        with pytest.raises(ParseError) as excinfo:
+            parse(prefix + "x ==")
+        excerpt_line = str(excinfo.value).splitlines()[1]
+        assert len(excerpt_line) < 120
+        assert excerpt_line.lstrip().startswith("...")

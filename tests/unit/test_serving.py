@@ -449,3 +449,37 @@ class TestAdmissionAndTimeouts:
         finally:
             with service._admission:
                 service._inflight = 0
+
+
+class TestPlanCacheInMetrics:
+    """Satellite: the engine plan cache surfaces in /metrics, and
+    EXPLAIN never shares a result-cache entry with its query."""
+
+    def test_metrics_snapshot_includes_plan_cache(self, served):
+        url, service, _ = served
+        _post(url, "/query", {"sql": SQL})
+        _post(url, "/query", {"sql": SQL})  # result-cache hit; plan reused
+        metrics = _get(url, "/metrics")
+        assert "plan_cache" in metrics
+        for key in ("size", "hits", "misses", "evictions", "invalidations"):
+            assert key in metrics["plan_cache"], key
+
+    def test_plan_cache_counts_hits_across_requests(self, served):
+        url, service, engine = served
+        probe = SQL + " LIMIT 7"  # unique spelling: bypass the result cache
+        _post(url, "/query", {"sql": probe})
+        before = engine.plan_cache.snapshot()["hits"]
+        service.cache.clear()  # force re-execution, not a cached answer
+        _post(url, "/query", {"sql": probe})
+        assert engine.plan_cache.snapshot()["hits"] > before
+
+    def test_explain_and_query_use_distinct_cache_entries(self, served):
+        url, service, _ = served
+        plain = _post(url, "/query", {"sql": SQL})
+        explained = _post(url, "/query", {"sql": "EXPLAIN " + SQL})
+        assert explained["columns"] == ["plan"]
+        assert explained["rows"] != plain["rows"]
+        # A repeat EXPLAIN hits its own entry, not the query's.
+        again = _post(url, "/query", {"sql": "explain " + SQL})
+        assert again["cache"] == "hit"
+        assert again["rows"] == explained["rows"]

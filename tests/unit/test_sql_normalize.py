@@ -71,7 +71,38 @@ class TestNormalizeSql:
             "SELECT DEDUP id, title FROM P WHERE venue = 'EDBT'",
             "SELECT COUNT(*) AS n FROM p",
             "INSERT INTO p (id, title) VALUES (9, 'X  y')",
+            "EXPLAIN SELECT DEDUP id FROM p",
+            "EXPLAIN ANALYZE SELECT id FROM p",
         ],
     )
     def test_normal_form_still_parses(self, sql):
         parse(normalize_sql(sql))
+
+
+class TestExplainKeySeparation:
+    """EXPLAIN must never share a cache key with the query it wraps.
+
+    The serving result cache and the engine plan cache both key on
+    ``normalize_sql`` output; if the EXPLAIN prefix were stripped, a
+    plan dump could be served as a query answer (or vice versa).
+    """
+
+    QUERY = "SELECT DEDUP id, title FROM P WHERE venue = 'EDBT'"
+
+    def test_explain_prefix_survives_normalization(self):
+        assert normalize_sql("EXPLAIN " + self.QUERY).startswith("explain select")
+
+    def test_explain_key_differs_from_query_key(self):
+        assert normalize_sql("EXPLAIN " + self.QUERY) != normalize_sql(self.QUERY)
+
+    def test_analyze_key_differs_from_plain_explain(self):
+        assert normalize_sql("EXPLAIN ANALYZE " + self.QUERY) != normalize_sql(
+            "EXPLAIN " + self.QUERY
+        )
+
+    def test_equal_explains_share_one_spelling(self):
+        variants = {
+            normalize_sql("EXPLAIN   Select Dedup ID, Title FROM p WHERE Venue='EDBT'"),
+            normalize_sql("explain select dedup id,title from P where venue = 'EDBT';"),
+        }
+        assert len(variants) == 1
