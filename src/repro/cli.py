@@ -40,7 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.bench.reporting import format_table
 from repro.core.engine import QueryEREngine
@@ -153,6 +153,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="parallel Comparison-Execution workers (default: auto-detect)",
     )
     parser.add_argument(
+        "--shards",
+        action="store_true",
+        help="keep a persistent sharded worker runtime resident across "
+        "queries (repro.parallel.shards): workers fork once, hold the "
+        "indices/matchers, and receive committed INSERT batches as "
+        "delta segments — instead of forking a pool per query "
+        "(env: REPRO_SHARDS=1)",
+    )
+    parser.add_argument(
         "--max-inflight",
         type=_positive_int,
         default=8,
@@ -228,6 +237,11 @@ def run_serve(argv: Sequence[str], output=None) -> int:
         plan = FaultPlan.parse(args.faults)
         install_plan(plan)
         print(f"fault injection armed: sites={plan.sites}", file=output)
+    execution: Any = args.workers
+    if args.shards:
+        from repro.parallel import ExecutionConfig
+
+        execution = ExecutionConfig(workers=args.workers, persistent_shards=True)
     engine = None
     if args.data_dir:
         from repro.persist import read_manifest
@@ -240,7 +254,7 @@ def run_serve(argv: Sequence[str], output=None) -> int:
         if manifest is not None:
             engine = QueryEREngine.load(
                 args.data_dir,
-                execution=args.workers,
+                execution=execution,
                 optimizer=not args.no_optimizer,
             )
             for name in sorted(engine.table_epochs()):
@@ -253,7 +267,7 @@ def run_serve(argv: Sequence[str], output=None) -> int:
     if engine is None:
         engine = QueryEREngine(
             match_threshold=args.threshold,
-            execution=args.workers,
+            execution=execution,
             optimizer=not args.no_optimizer,
         )
     for spec in args.csv:
@@ -291,6 +305,7 @@ def run_serve(argv: Sequence[str], output=None) -> int:
         print("shutting down", file=output)
     finally:
         server.server_close()
+        engine.close()
     return 0
 
 

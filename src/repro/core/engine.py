@@ -36,6 +36,7 @@ from repro.optimizer.explain import (
     analyze_lines,
     dedup_plan_lines,
     relational_plan_lines,
+    scheduling_lines,
 )
 from repro.parallel import ExecutionConfig, ParallelComparisonExecutor
 from repro.sql import ast, normalize_sql
@@ -114,9 +115,15 @@ class QueryEREngine:
         self.execution = execution or ExecutionConfig()
         # No executor on single-worker configurations: the operator then
         # runs the exact pre-subsystem serial path, with zero scheduling
-        # or caching layered on top.
+        # or caching layered on top.  The shard state source hands the
+        # persistent runtime (when configured) everything a freshly
+        # forked worker keeps resident.
         self._parallel: Optional[ParallelComparisonExecutor] = (
-            ParallelComparisonExecutor(self.execution, epoch_source=self.epoch_of)
+            ParallelComparisonExecutor(
+                self.execution,
+                epoch_source=self.epoch_of,
+                shard_state_source=self._shard_state,
+            )
             if self.execution.parallel
             else None
         )
@@ -182,6 +189,7 @@ class QueryEREngine:
         if self.sample_stats:
             self._statistics[key] = TableStatistics(index, matcher)
         self._invalidate_plans()
+        self._reset_shards()
         return index
 
     def unregister(self, name: str) -> bool:
@@ -207,6 +215,7 @@ class QueryEREngine:
         if epoch is not None:
             self._retired_epochs[key] = max(epoch, self._retired_epochs.get(key, 0))
         self._invalidate_plans()
+        self._reset_shards()
         return known
 
     def adopt(
@@ -237,6 +246,7 @@ class QueryEREngine:
         if statistics is not None:
             self._statistics[key] = statistics
         self._invalidate_plans()
+        self._reset_shards()
 
     # -- persistence ------------------------------------------------------
     def save(self, directory) -> Dict[str, Any]:
@@ -293,14 +303,61 @@ class QueryEREngine:
         return self._checkpointer
 
     def _notify_committed(self, name: str, count: int) -> None:
-        """Post-commit hook from the maintainer: checkpoint the batch.
+        """Post-commit hook from the maintainer: fan the batch out.
 
         Runs strictly after the epoch advanced, i.e. only for batches
         that actually committed — a rolled-back insert never reaches
-        this point, so it can never reach disk.
+        this point, so it can never reach disk *or* a resident shard.
+        Resident shard workers receive the batch as an epoch-tagged
+        delta segment first (synchronous, so the next query's routing
+        sees current state), then the checkpointer persists it.
         """
+        if self._parallel is not None:
+            key = name.lower()
+            self._parallel.note_committed(
+                key, self.epoch_of(key), self.index_of(key), count
+            )
         if self._checkpointer is not None:
             self._checkpointer.on_commit(name, count)
+
+    # -- shard/worker lifecycle ------------------------------------------
+    def _shard_state(self) -> Dict[str, Tuple[TableIndex, ProfileMatcher]]:
+        """What a freshly forked shard worker keeps resident."""
+        return {
+            key: (index, self._matchers[key])
+            for key, index in self._indices.items()
+        }
+
+    def _reset_shards(self) -> None:
+        """Retire resident workers when the set of tables changes.
+
+        Deltas keep shards current across *appends*; registration-shape
+        changes (register/unregister/adopt) need a fresh fork of the new
+        state, which the retired slots take lazily on the next query.
+        """
+        if self._parallel is not None:
+            self._parallel.reset_shards()
+
+    def close(self) -> None:
+        """Release every long-lived resource this engine holds.
+
+        Joins the persistent shard workers (and their pipe fds) and
+        drains/stops the checkpointer's background writer.  Idempotent;
+        also runs when the engine is used as a context manager.  An
+        engine without shards or checkpointing holds no such resources
+        and close() is a no-op.
+        """
+        if self._parallel is not None:
+            self._parallel.close()
+        if self._checkpointer is not None:
+            self._checkpointer.close()
+
+    def __enter__(self) -> "QueryEREngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # -- epochs ----------------------------------------------------------
     def epoch_of(self, name: str) -> int:
@@ -585,6 +642,7 @@ class QueryEREngine:
                     elapsed_s=run_elapsed,
                     stage_times=dict(context.stage_times),
                 )
+                lines.extend(scheduling_lines(self._parallel))
         elapsed = time.perf_counter() - start
         text = "\n".join(lines)
         return QueryResult(["plan"], [(line,) for line in lines], elapsed, None, text)

@@ -273,8 +273,20 @@ class TableIndex:
         return len(self._signatures)
 
     # -- incremental maintenance ----------------------------------------------
-    def add_records(self, entity_ids: Iterable[Any]) -> "IndexDelta":
+    def add_records(
+        self,
+        entity_ids: Iterable[Any],
+        keys_of: Optional[Dict[Any, Set[str]]] = None,
+    ) -> "IndexDelta":
         """Amend the TBI/ITBI with rows already appended to the table.
+
+        *keys_of*, when given, supplies precomputed blocking keys per
+        entity id instead of re-running ``blocking.keys_for`` — the
+        shard delta-application path (:mod:`repro.parallel.shards`)
+        ships the parent's already-computed keys so a worker applies a
+        batch without re-tokenizing; the mapping must equal what
+        ``keys_for`` would return, which the hand-off codec guarantees
+        by construction (it reads the parent's ITBI).
 
         No rebuild: each new record's tokens are inserted into the TBI,
         the record gets its own ITBI entry, and — because ITBI key lists
@@ -308,7 +320,10 @@ class TableIndex:
         try:
             for entity_id in new_ids:
                 inject("dml.index_delta")  # the mid-batch crash the rollback suite drives
-                keys = self.blocking.keys_for(self.entities.attributes(entity_id))
+                if keys_of is not None and entity_id in keys_of:
+                    keys = set(keys_of[entity_id])
+                else:
+                    keys = self.blocking.keys_for(self.entities.attributes(entity_id))
                 new_keys[entity_id] = keys
                 for key in keys:
                     self.tbi.add(key, entity_id)

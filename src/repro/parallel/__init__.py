@@ -18,9 +18,17 @@ that hot path across a worker pool while keeping the output
   orchestrates the above and owns the candidate-plan cache the engine
   invalidates on ingestion.
 
+For sustained traffic, :class:`~repro.parallel.shards.ShardRuntime`
+replaces the per-query pool with **persistent** hash-partitioned worker
+processes: state ships once at fork (plus per-commit delta segments),
+so a warm query pays IPC of a few task descriptors instead of a fork —
+same merger, same bit-identical guarantee.
+
 Configuration enters through
 :class:`~repro.parallel.config.ExecutionConfig` (``workers=N``,
-auto-detected by default; ``REPRO_WORKERS`` overrides).
+auto-detected by default, ``REPRO_WORKERS`` overrides;
+``persistent_shards=True`` / ``REPRO_SHARDS=1`` enables the resident
+runtime).
 """
 
 from repro.parallel.config import ExecutionConfig, detect_workers, usable_cores
@@ -28,6 +36,7 @@ from repro.parallel.executor import ParallelComparisonExecutor
 from repro.parallel.merger import DeterministicMerger
 from repro.parallel.planner import Partition, PartitionPlanner
 from repro.parallel.pool import WorkerPool
+from repro.parallel.shards import ShardRuntime, ShardUnavailable, owner_of
 
 __all__ = [
     "ExecutionConfig",
@@ -35,7 +44,10 @@ __all__ = [
     "DeterministicMerger",
     "Partition",
     "PartitionPlanner",
+    "ShardRuntime",
+    "ShardUnavailable",
     "WorkerPool",
     "detect_workers",
+    "owner_of",
     "usable_cores",
 ]

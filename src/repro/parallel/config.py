@@ -23,18 +23,53 @@ MAX_AUTO_WORKERS = 8
 #: Environment variable overriding the auto-detected worker count.
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: Environment variable enabling the persistent shard runtime when
+#: ``ExecutionConfig.persistent_shards`` is left unset.
+SHARDS_ENV = "REPRO_SHARDS"
+
+#: cgroup v2 CPU bandwidth file: ``"<quota> <period>"`` in microseconds,
+#: or ``"max <period>"`` when unthrottled.
+_CGROUP_CPU_MAX = "/sys/fs/cgroup/cpu.max"
+
+
+def _cgroup_quota_cores(path: str = _CGROUP_CPU_MAX) -> Optional[int]:
+    """Whole cores the cgroup v2 CPU quota allows, or ``None``.
+
+    A container pinned to ``200000 100000`` may *see* 32 cores in its
+    affinity mask yet only ever get 2 cores of bandwidth — spawning 32
+    workers there just makes them preempt each other.
+    """
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        quota, period = fields[0], int(fields[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    if quota == "max" or period <= 0:
+        return None
+    try:
+        return max(1, int(quota) // period)
+    except ValueError:
+        return None
+
 
 def usable_cores() -> int:
     """Cores this process may actually run on.
 
-    ``sched_getaffinity`` (where available) respects container/cgroup
-    CPU masks that ``cpu_count`` ignores.  No env override, no cap —
-    this is the hardware fact benchmarks report next to their ratios.
+    ``sched_getaffinity`` (where available) respects CPU masks that
+    ``cpu_count`` ignores, and the cgroup v2 CPU-bandwidth quota caps
+    the result further — so containers limited either way never
+    oversubscribe.  No env override, no cap beyond the quota — this is
+    the hardware fact benchmarks report next to their ratios.
     """
     try:
-        return max(1, len(os.sched_getaffinity(0)))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return max(1, os.cpu_count() or 1)
+        cores = max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        cores = max(1, os.cpu_count() or 1)
+    quota = _cgroup_quota_cores()
+    if quota is not None:
+        cores = min(cores, quota)
+    return cores
 
 
 def detect_workers() -> int:
@@ -99,6 +134,14 @@ class ExecutionConfig:
         exceeding it counts as failed and enters the retry/serial
         recovery path.  ``None`` disables; the generous default only
         trips on genuine hangs, never on slow-but-alive partitions.
+    persistent_shards:
+        Keep a long-lived :class:`~repro.parallel.shards.ShardRuntime`
+        of hash-partitioned worker processes resident across queries
+        instead of forking a pool per invocation — the warm-serving
+        configuration (state ships once at fork plus per-commit deltas,
+        never per query).  ``None`` defers to the ``REPRO_SHARDS``
+        environment variable (default off); effective only where the
+        process backend is (fork available, workers > 1).
     """
 
     workers: int = None  # type: ignore[assignment]  # None → auto
@@ -110,6 +153,7 @@ class ExecutionConfig:
     candidate_cache_size: int = 128
     task_retries: int = 2
     task_timeout_s: Optional[float] = 300.0
+    persistent_shards: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("auto", "process", "thread", "serial"):
@@ -139,6 +183,24 @@ class ExecutionConfig:
         if self.backend == "auto":
             return "process" if fork_available() else "thread"
         return self.backend
+
+    def resolved_shards(self) -> bool:
+        """Whether the persistent shard runtime should serve this config.
+
+        Requires the process backend (a shard *is* a forked process
+        holding resident state; threads share it anyway and the serial
+        path has nothing to amortize).
+        """
+        flag = self.persistent_shards
+        if flag is None:
+            env = os.environ.get(SHARDS_ENV, "").strip().lower()
+            flag = env in ("1", "true", "yes", "on")
+        return (
+            bool(flag)
+            and self.parallel
+            and self.resolved_backend() == "process"
+            and fork_available()
+        )
 
     @property
     def parallel(self) -> bool:

@@ -50,6 +50,7 @@ from repro.parallel.config import ExecutionConfig
 from repro.parallel.merger import DeterministicMerger
 from repro.parallel.planner import PartitionPlanner
 from repro.parallel.pool import WorkerPool
+from repro.parallel.shards import ShardRuntime, ShardUnavailable
 from repro.parallel.tasks import (
     GraphPayload,
     GraphTask,
@@ -101,6 +102,7 @@ class ParallelComparisonExecutor:
         self,
         config: Optional[ExecutionConfig] = None,
         epoch_source: Optional[Callable[[str], int]] = None,
+        shard_state_source: Optional[Callable[[], Dict[str, Any]]] = None,
     ):
         self.config = config or ExecutionConfig()
         self.workers = self.config.resolved_workers()
@@ -113,11 +115,28 @@ class ParallelComparisonExecutor:
         )
         self._epoch_source = epoch_source
         self._fallback_epochs: Dict[str, int] = {}
+        # The persistent shard runtime replaces per-query pools when
+        # configured; *shard_state_source* (the engine's registered
+        # index/matcher map) is what a freshly forked worker keeps
+        # resident.  Without a source (standalone executors) the pool
+        # path serves every invocation.
+        self._shards: Optional[ShardRuntime] = (
+            ShardRuntime(
+                self.workers,
+                shard_state_source,
+                epoch_source=self.epoch_of,
+                task_timeout=self.config.task_timeout_s,
+            )
+            if shard_state_source is not None and self.config.resolved_shards()
+            else None
+        )
         #: Instrumentation: how invocations were scheduled.
         self.stats = {
             "parallel_match_runs": 0,
             "serial_match_runs": 0,
             "parallel_graph_builds": 0,
+            "shard_match_runs": 0,
+            "shard_graph_builds": 0,
             "candidate_cache_hits": 0,
             "candidate_cache_misses": 0,
         }
@@ -172,6 +191,21 @@ class ParallelComparisonExecutor:
         if not self.should_parallelize_pairs(len(pairs)):
             self.stats["serial_match_runs"] += 1
             return matcher.match_pair_indices(pairs, _LazySignatures(index))
+        if self._shards is not None:
+            # Persistent shard path: no signature pre-build, no payload
+            # install, no fork — pairs route to the workers holding the
+            # resident state.  An unavailable runtime (spawn failure)
+            # falls through to the per-query pool below.
+            try:
+                matched = self._shards.match_pairs(
+                    index.table.name.lower(), index, matcher, pairs
+                )
+            except ShardUnavailable:
+                pass
+            else:
+                self.stats["parallel_match_runs"] += 1
+                self.stats["shard_match_runs"] += 1
+                return matched
         self.stats["parallel_match_runs"] += 1
         signatures = self._signature_map(index, pairs)
         partitions = self.planner.partition_pairs(len(pairs))
@@ -265,11 +299,22 @@ class ParallelComparisonExecutor:
         need_arcs = scheme is WeightingScheme.ARCS
         cardinalities = (sizes * (sizes - 1) // 2).tolist()
         partitions = self.planner.partition_costs(cardinalities)
-        payload = SpanPayload(members, indptr, len(universe), in_focus, need_arcs)
-        tasks = [SpanTask(p.index, p.start, p.stop) for p in partitions]
-        results = self._pool().run(
-            run_span_task, tasks, payload
-        )
+        results = None
+        if self._shards is not None:
+            try:
+                results = self._shards.run_spans(
+                    members, indptr, len(universe), in_focus, need_arcs, partitions
+                )
+            except ShardUnavailable:
+                results = None
+            else:
+                self.stats["shard_graph_builds"] += 1
+        if results is None:
+            payload = SpanPayload(members, indptr, len(universe), in_focus, need_arcs)
+            tasks = [SpanTask(p.index, p.start, p.stop) for p in partitions]
+            results = self._pool().run(
+                run_span_task, tasks, payload
+            )
         edge_keys, edge_stats, block_counts = DeterministicMerger.merge_span_segments(
             results, len(universe), need_arcs
         )
@@ -337,3 +382,28 @@ class ParallelComparisonExecutor:
         """Drop all cached per-partition state (cold-start contract)."""
         if self._candidate_cache is not None:
             self._candidate_cache.clear()
+
+    # -- persistent shard runtime ----------------------------------------
+    @property
+    def shard_runtime(self) -> Optional[ShardRuntime]:
+        """The persistent shard runtime, when configured (else ``None``)."""
+        return self._shards
+
+    def note_committed(self, table_name: str, epoch: int, index: Any, count: int) -> None:
+        """Engine post-commit hook: ship the batch to resident shards."""
+        if self._shards is not None:
+            self._shards.publish_delta(table_name.lower(), index, epoch, count)
+
+    def reset_shards(self) -> None:
+        """Retire resident workers after a registration-shape change."""
+        if self._shards is not None:
+            self._shards.reset()
+
+    def shard_status(self) -> Optional[Dict[str, Any]]:
+        """The runtime's observability snapshot, or ``None`` when pooled."""
+        return self._shards.status() if self._shards is not None else None
+
+    def close(self) -> None:
+        """Join and release every long-lived worker process (idempotent)."""
+        if self._shards is not None:
+            self._shards.close()

@@ -162,9 +162,9 @@ class WorkerPool:
             if getattr(payload, "private_state", None):
                 payload.private_state = False
             return self._run_threads(worker, tasks)
-        # Pool.__exit__ terminates outstanding workers — exactly what a
-        # hung task needs once its result has been written off.
-        with pool:
+        timed_out = False
+        collected = False
+        try:
             handles = [pool.apply_async(worker, (task,)) for task in tasks]
             deadline = self._deadline()
             outcomes: List[Tuple[bool, Any]] = []
@@ -172,11 +172,27 @@ class WorkerPool:
                 try:
                     outcomes.append((True, handle.get(self._remaining(deadline))))
                 except multiprocessing.TimeoutError:
+                    timed_out = True
                     outcomes.append(
                         (False, TaskTimeout(index, self.task_timeout or 0.0))
                     )
                 except Exception as error:
                     outcomes.append((False, error))
+            collected = True
+        finally:
+            # Deterministic teardown: every outcome above is collected,
+            # so on the clean path the workers are idle — close() +
+            # join() reaps each child and its pipe fds before the next
+            # invocation can fork (no fd/zombie accumulation across
+            # repeated engine create/close cycles).  Only a timed-out
+            # task still occupies a worker; that one pool is terminated
+            # — exactly what a hung task needs once its result has been
+            # written off — and then joined all the same.
+            if timed_out or not collected:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
         return outcomes
 
     def _run_threads(self, worker, tasks) -> List[Tuple[bool, Any]]:

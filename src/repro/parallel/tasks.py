@@ -198,12 +198,25 @@ class SpanTask:
     stop: int
 
 
-def run_span_task(task: SpanTask) -> GraphResult:
-    """Worker entry: generate packed pair segments for one postings span."""
-    payload: SpanPayload = current_payload()  # type: ignore[assignment]
+def compute_span_result(
+    members: Any,
+    indptr: Any,
+    start: int,
+    stop: int,
+    n: int,
+    in_focus: Optional[bytearray],
+    need_arcs: bool,
+    partition: int,
+) -> GraphResult:
+    """One span's packed segments as a :class:`GraphResult`.
+
+    Pure function of its arguments — the shared body of the pool's
+    :func:`run_span_task`, the shard runtime's span handler and both
+    parents' serial recovery paths, so every execution route computes
+    the identical segments.
+    """
     key_segments, value_segments, block_counts = generate_span_segments(
-        payload.members, payload.indptr, task.start, task.stop,
-        payload.n, payload.in_focus, payload.need_arcs,
+        members, indptr, start, stop, n, in_focus, need_arcs,
     )
     keys = (
         _np.concatenate(key_segments)
@@ -212,14 +225,23 @@ def run_span_task(task: SpanTask) -> GraphResult:
     )
     values = (
         _np.concatenate(value_segments)
-        if payload.need_arcs and value_segments
+        if need_arcs and value_segments
         else None
     )
     touched_positions = _np.nonzero(block_counts)[0]
     touched = {
         int(position): int(block_counts[position]) for position in touched_positions
     }
-    return GraphResult(task.partition, keys, values, touched)
+    return GraphResult(partition, keys, values, touched)
+
+
+def run_span_task(task: SpanTask) -> GraphResult:
+    """Worker entry: generate packed pair segments for one postings span."""
+    payload: SpanPayload = current_payload()  # type: ignore[assignment]
+    return compute_span_result(
+        payload.members, payload.indptr, task.start, task.stop,
+        payload.n, payload.in_focus, payload.need_arcs, task.partition,
+    )
 
 
 def run_graph_task(task: GraphTask) -> GraphResult:

@@ -225,6 +225,72 @@ def segment_arrays(
     return arrays
 
 
+def delta_segment_arrays(index: Any, start: int, stop: int) -> Dict[str, np.ndarray]:
+    """A *self-contained* delta segment over table rows ``[start:stop)``.
+
+    The shard hand-off format of :mod:`repro.parallel.shards`: same
+    columnar layout as checkpoint segments (column array families, the
+    rows' blocking keys as a CSR, a token table), with one deliberate
+    difference — the CSR's token ids index the segment's **own**
+    ``vocab.data``/``vocab.offsets`` table instead of the engine's
+    global vocabulary.  Checkpoint segments may assume the reader
+    replays the exact global id assignment (manifest order), but a
+    long-lived shard's vocabulary diverges from its parent's the moment
+    either process lazily interns a signature the other has not — so the
+    hand-off segment carries every key string it references and the
+    worker re-interns them under its own ids.  Applying it never
+    re-tokenizes an attribute value.
+    """
+    from repro.persist.columnar import encode_strings
+
+    table = index.table
+    itbi = index.itbi
+    local_ids: Dict[str, int] = {}
+    local_tokens: List[str] = []
+    indptr: List[int] = [0]
+    tokens: List[int] = []
+    for position in range(start, stop):
+        for key in itbi.get(table[position].id, ()):
+            local = local_ids.get(key)
+            if local is None:
+                local = local_ids[key] = len(local_tokens)
+                local_tokens.append(key)
+            tokens.append(local)
+        indptr.append(len(tokens))
+    arrays = columns_to_arrays(table.schema.columns, table.column_values(start, stop))
+    arrays["itbi.indptr"] = np.asarray(indptr, dtype=np.int64)
+    arrays["itbi.tokens"] = np.asarray(tokens, dtype=np.int64)
+    vocab = encode_strings(local_tokens)
+    arrays["vocab.data"] = vocab["data"]
+    arrays["vocab.offsets"] = vocab["offsets"]
+    return arrays
+
+
+def decode_delta_segment(
+    schema: Schema, arrays: Dict[str, np.ndarray]
+) -> Tuple[List[Tuple[Any, ...]], List[List[str]]]:
+    """Invert :func:`delta_segment_arrays`: ``(rows, per-row key lists)``.
+
+    Rows come back as exact Python value tuples (ready for
+    ``Table.append_rows(..., coerce=False)``); each row's blocking keys
+    decode through the segment-local token table, in the CSR's recorded
+    order.
+    """
+    from repro.persist.columnar import decode_strings
+
+    columns = columns_from_arrays(schema.columns, arrays)
+    count = len(columns[0]) if columns else 0
+    rows = [tuple(column[i] for column in columns) for i in range(count)]
+    token_table = decode_strings(arrays["vocab.data"], arrays["vocab.offsets"])
+    indptr = arrays["itbi.indptr"]
+    tokens = arrays["itbi.tokens"]
+    keys = [
+        [token_table[int(t)] for t in tokens[int(indptr[i]) : int(indptr[i + 1])]]
+        for i in range(count)
+    ]
+    return rows, keys
+
+
 def link_state_payload(index: Any) -> Dict[str, Any]:
     """The JSON-serializable soft state of one table's index.
 

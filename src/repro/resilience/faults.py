@@ -17,6 +17,10 @@ site                      where it fires
 ``pool.spawn``            process-pool creation in ``WorkerPool``
 ``pool.task``             inside a worker, before the task body runs
 ``pool.task_hang``        inside a worker (``hang`` kind: sleeps ``delay``)
+``shard.spawn``           persistent shard fork in ``ShardRuntime._spawn``
+``shard.task``            shard task dispatch (parent) and execution (child)
+``shard.delta``           before a commit delta ships to a live shard
+
 ``table.append_row``      per-row while staging a ``Table.append_rows`` batch
 ``dml.after_append``      between storage append and TBI/ITBI amendment
 ``dml.index_delta``       per-entity inside ``TableIndex.add_records``

@@ -1,0 +1,361 @@
+"""Unit tests of the persistent shard runtime (repro.parallel.shards)."""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.core.engine import QueryEREngine
+from repro.parallel import ExecutionConfig, ShardRuntime, owner_of
+from repro.parallel.config import SHARDS_ENV, _cgroup_quota_cores, fork_available
+from repro.persist.snapshot import decode_delta_segment, delta_segment_arrays
+from repro.resilience import DEGRADATION, FaultPlan, clear_plan, install_plan
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork backend unavailable"
+)
+
+SQL = "SELECT DEDUP id, title FROM pubs WHERE year >= 1990"
+
+
+def make_table(n: int = 60, name: str = "pubs") -> Table:
+    rows = []
+    for i in range(n):
+        rows.append((i, f"title about entity {i % 17} record", 1990 + (i % 30), f"venue {i % 5}"))
+    for i in range(0, n, 6):
+        rows.append((n + i, f"title about entity {i % 17} record", 1990 + (i % 30), f"venue {i % 5}"))
+    return Table(name, Schema.of("id", "title", "year", "venue"), rows)
+
+
+def shard_config(workers: int = 2) -> ExecutionConfig:
+    """Thresholds at the floor so tiny tables exercise the shard path."""
+    return ExecutionConfig(
+        workers=workers,
+        backend="process",
+        persistent_shards=True,
+        min_parallel_pairs=1,
+        min_parallel_comparisons=1,
+    )
+
+
+def shard_engine(workers: int = 2, table: Table | None = None) -> QueryEREngine:
+    engine = QueryEREngine(execution=shard_config(workers))
+    engine.register(table if table is not None else make_table())
+    return engine
+
+
+def serial_engine(table: Table | None = None) -> QueryEREngine:
+    engine = QueryEREngine(execution=ExecutionConfig.serial())
+    engine.register(table if table is not None else make_table())
+    return engine
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestOwnerOf:
+    def test_deterministic_and_in_range(self):
+        for shards in (1, 2, 4, 7):
+            for entity in (0, 1, 41, "P3", "x-9", 10**12, -5):
+                owner = owner_of(entity, shards)
+                assert 0 <= owner < shards
+                assert owner == owner_of(entity, shards)
+
+    def test_int_ids_partition_by_modulo(self):
+        assert owner_of(10, 4) == 2
+        assert owner_of(11, 4) == 3
+
+    def test_bool_ids_hash_not_modulo(self):
+        # bool is an int subclass; routing must not treat True as 1.
+        assert owner_of(True, 2) == owner_of(True, 2)
+
+    def test_string_ids_spread(self):
+        owners = {owner_of(f"id-{i}", 4) for i in range(64)}
+        assert owners == {0, 1, 2, 3}
+
+
+class TestDeltaCodec:
+    def test_roundtrip_rows_and_keys(self):
+        engine = serial_engine()
+        table = engine.catalog.get("pubs")
+        index = engine.index_of("pubs")
+        start = len(table) - 5
+        arrays = delta_segment_arrays(index, start, len(table))
+        rows, keys = decode_delta_segment(table.schema, arrays)
+        assert [tuple(r) for r in rows] == [
+            table[i].values for i in range(start, len(table))
+        ]
+        for offset, row_keys in enumerate(keys):
+            entity = table[start + offset].id
+            assert set(row_keys) == set(index.itbi.get(entity, ()))
+
+    def test_segment_vocab_is_self_contained(self):
+        """Token ids index the delta's own vocab, not the parent's."""
+        engine = serial_engine()
+        index = engine.index_of("pubs")
+        table = engine.catalog.get("pubs")
+        arrays = delta_segment_arrays(index, len(table) - 3, len(table))
+        n_tokens = len(arrays["vocab.offsets"]) - 1
+        assert all(0 <= t < n_tokens for t in arrays["itbi.tokens"])
+
+
+class TestUsableCores:
+    def test_cgroup_quota_caps(self, tmp_path):
+        limit = tmp_path / "cpu.max"
+        limit.write_text("200000 100000\n")
+        assert _cgroup_quota_cores(str(limit)) == 2
+
+    def test_cgroup_max_means_unlimited(self, tmp_path):
+        limit = tmp_path / "cpu.max"
+        limit.write_text("max 100000\n")
+        assert _cgroup_quota_cores(str(limit)) is None
+
+    def test_cgroup_partial_core_rounds_up_to_one(self, tmp_path):
+        limit = tmp_path / "cpu.max"
+        limit.write_text("50000 100000\n")
+        assert _cgroup_quota_cores(str(limit)) == 1
+
+    def test_missing_or_garbage_file_is_ignored(self, tmp_path):
+        assert _cgroup_quota_cores(str(tmp_path / "nope")) is None
+        bad = tmp_path / "cpu.max"
+        bad.write_text("not numbers\n")
+        assert _cgroup_quota_cores(str(bad)) is None
+
+
+class TestResolvedShards:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        assert not ExecutionConfig(workers=2, backend="process").resolved_shards()
+
+    def test_env_enables(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "1")
+        config = ExecutionConfig(workers=2, backend="process")
+        assert config.resolved_shards() == fork_available()
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "1")
+        assert not ExecutionConfig(
+            workers=2, backend="process", persistent_shards=False
+        ).resolved_shards()
+
+    def test_needs_process_backend(self):
+        assert not ExecutionConfig(
+            workers=2, backend="thread", persistent_shards=True
+        ).resolved_shards()
+
+    def test_serial_never_shards(self):
+        assert not ExecutionConfig(
+            workers=1, persistent_shards=True
+        ).resolved_shards()
+
+
+@needs_fork
+class TestShardRuntimeLifecycle:
+    def test_spawns_once_and_reuses(self):
+        engine = shard_engine()
+        try:
+            engine.execute(SQL)
+            engine.execute(SQL)
+            status = engine.parallel_executor.shard_status()
+            assert status["spawns"] == status["workers"]
+            assert status["alive"] == status["workers"]
+            assert status["respawns"] == 0
+            pids = [shard["alive"] for shard in status["shards"]]
+            assert all(pids)
+        finally:
+            engine.close()
+
+    def test_close_is_idempotent_and_queries_survive(self):
+        engine = shard_engine()
+        expected = serial_engine().execute(SQL).rows
+        try:
+            assert engine.execute(SQL).rows == expected
+        finally:
+            engine.close()
+            engine.close()
+        status = engine.parallel_executor.shard_status()
+        assert status["alive"] == 0 and not status["started"]
+        # Closed runtime routes to the per-query pool path, same answer.
+        assert engine.execute(SQL).rows == expected
+        engine.close()
+
+    def test_context_manager_closes(self):
+        with shard_engine() as engine:
+            engine.execute(SQL)
+            runtime = engine.parallel_executor.shard_runtime
+            assert runtime.status()["alive"] > 0
+        assert runtime.status()["alive"] == 0
+
+    def test_register_resets_shards(self):
+        engine = shard_engine()
+        try:
+            engine.execute(SQL)
+            assert engine.parallel_executor.shard_status()["started"]
+            engine.register(make_table(name="other"))
+            assert not engine.parallel_executor.shard_status()["started"]
+            # Querying the new table (cold LI, real comparisons) respawns
+            # workers from the two-table state.
+            assert engine.execute(SQL.replace("pubs", "other")).rows
+            assert engine.parallel_executor.shard_status()["started"]
+        finally:
+            engine.close()
+
+    def test_status_shape(self):
+        engine = shard_engine(workers=2)
+        try:
+            engine.execute(SQL)
+            status = engine.parallel_executor.shard_status()
+            assert status["workers"] == 2
+            assert len(status["shards"]) == 2
+            for shard in status["shards"]:
+                assert {"id", "alive", "tasks", "deltas", "delta_lag"} <= set(shard)
+        finally:
+            engine.close()
+
+
+@needs_fork
+class TestDeltaShipping:
+    def test_insert_ships_delta_and_stays_identical(self):
+        serial = serial_engine()
+        engine = shard_engine()
+        insert = "INSERT INTO pubs VALUES (900, 'title about entity 3 record', 1993, 'venue 3')"
+        try:
+            engine.execute(SQL)
+            serial.execute(insert)
+            engine.execute(insert)
+            assert engine.execute(SQL).rows == serial.execute(SQL).rows
+            status = engine.parallel_executor.shard_status()
+            assert status["deltas_published"] == status["workers"]
+            assert all(s["delta_lag"] == 0 for s in status["shards"])
+        finally:
+            engine.close()
+
+    def test_insert_before_spawn_needs_no_delta(self):
+        serial = serial_engine()
+        engine = shard_engine()
+        insert = "INSERT INTO pubs VALUES (901, 'title about entity 5 record', 1995, 'venue 0')"
+        try:
+            serial.execute(insert)
+            engine.execute(insert)  # shards not spawned yet
+            assert engine.execute(SQL).rows == serial.execute(SQL).rows
+            assert engine.parallel_executor.shard_status()["deltas_published"] == 0
+        finally:
+            engine.close()
+
+
+@needs_fork
+class TestShardRecovery:
+    def test_task_fault_falls_back_serial_and_matches(self):
+        expected = serial_engine().execute(SQL).rows
+        install_plan(FaultPlan.parse("shard.task:times=1"))
+        engine = shard_engine()
+        try:
+            assert engine.execute(SQL).rows == expected
+            status = engine.parallel_executor.shard_status()
+            assert status["serial_fallbacks"] >= 1 or status["task_errors"] >= 1
+        finally:
+            engine.close()
+
+    def test_spawn_fault_degrades_to_pool(self):
+        expected = serial_engine().execute(SQL).rows
+        install_plan(FaultPlan.parse("shard.spawn:times=2"))
+        before = len(DEGRADATION)
+        engine = shard_engine()
+        try:
+            assert engine.execute(SQL).rows == expected
+            events = list(DEGRADATION.events())[before:]
+            assert any(e.site == "shard_spawn" for e in events)
+        finally:
+            engine.close()
+
+    def test_delta_fault_kills_and_respawns_current(self):
+        serial = serial_engine()
+        insert = "INSERT INTO pubs VALUES (902, 'title about entity 7 record', 1997, 'venue 2')"
+        install_plan(FaultPlan.parse("shard.delta:times=1"))
+        engine = shard_engine()
+        try:
+            engine.execute(SQL)
+            serial.execute(insert)
+            engine.execute(insert)
+            status = engine.parallel_executor.shard_status()
+            assert status["delta_failures"] == 1
+            # The killed shard respawns from current engine state on the
+            # next query, so the answer still matches serial bit for bit.
+            assert engine.execute(SQL).rows == serial.execute(SQL).rows
+            assert engine.parallel_executor.shard_status()["respawns"] >= 1
+        finally:
+            engine.close()
+
+    def test_dead_worker_process_respawns(self):
+        serial = serial_engine()
+        engine = shard_engine()
+        insert = "INSERT INTO pubs VALUES (903, 'title about entity 9 record', 1999, 'venue 4')"
+        try:
+            engine.execute(SQL)
+            runtime = engine.parallel_executor.shard_runtime
+            victim = runtime._shards[0]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            victim.process.join(5.0)
+            # The insert invalidates LI clusters, so the next query runs
+            # real comparisons; ensure_started respawns the dead shard
+            # from current (post-insert) engine state.
+            serial.execute(insert)
+            engine.execute(insert)
+            assert engine.execute(SQL).rows == serial.execute(SQL).rows
+            status = runtime.status()
+            assert status["respawns"] >= 1
+            assert status["alive"] == status["workers"]
+        finally:
+            engine.close()
+
+
+@needs_fork
+class TestObservability:
+    def test_explain_analyze_scheduling_lines(self):
+        engine = shard_engine()
+        try:
+            engine.execute(SQL)
+            report = engine.execute("EXPLAIN ANALYZE " + SQL)
+            text = "\n".join(str(row[0]) for row in report.rows)
+            assert "scheduling: workers=2 backend=process runtime=shards" in text
+            assert "scheduling: shards alive=" in text
+            assert "scheduling: shard 0:" in text
+        finally:
+            engine.close()
+
+    def test_metrics_snapshot_has_shard_block(self):
+        from repro.serving import EngineService
+
+        engine = shard_engine()
+        try:
+            service = EngineService(engine, log_stream=None)
+            engine.execute(SQL)
+            snapshot = service.metrics_snapshot()
+            assert "shards" in snapshot
+            assert snapshot["shards"]["workers"] == 2
+            assert len(snapshot["shards"]["shards"]) == 2
+        finally:
+            engine.close()
+
+    def test_serial_engine_has_no_shard_block(self):
+        from repro.serving import EngineService
+
+        engine = serial_engine()
+        service = EngineService(engine, log_stream=None)
+        engine.execute(SQL)
+        assert "shards" not in service.metrics_snapshot()
+
+
+class TestRuntimeWithoutEngine:
+    def test_unavailable_until_started_source_none(self):
+        runtime = ShardRuntime(2, None)
+        assert not runtime.ensure_started()
+        runtime.close()
